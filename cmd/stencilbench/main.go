@@ -1,0 +1,176 @@
+// Command stencilbench regenerates the paper's tables and figures from the
+// calibrated machine models and the discrete-event engine.
+//
+// Usage:
+//
+//	stencilbench -exp all            # every table/figure (paper-scale, slow)
+//	stencilbench -exp fig8 -quick    # one experiment, quarter-scale
+//	stencilbench -exp table1 -host   # include a real STREAM run of this host
+//	stencilbench -exp fig10 -gantt 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"castencil/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, table1, fig5, fig6, fig7, fig8, fig9, fig10, roofline, headline, future, ninepoint, autoplan, sched, weak")
+	quick := flag.Bool("quick", false, "quarter-scale workloads, 10 iterations (fast)")
+	host := flag.Bool("host", false, "table1: run a real STREAM benchmark on this host too")
+	gantt := flag.Int("gantt", 0, "fig10: also print text Gantt charts of the given width")
+	steps := flag.Int("steps", 0, "override iteration count")
+	flag.Parse()
+
+	p := bench.PaperParams()
+	if *quick {
+		p = bench.QuickParams()
+	}
+	if *steps > 0 {
+		p.Steps = *steps
+	}
+
+	want := func(id string) bool { return *exp == "all" || *exp == id }
+	ran := 0
+	start := time.Now()
+
+	type runner func() error
+	runners := []struct {
+		id string
+		fn runner
+	}{
+		{"table1", func() error { bench.TableI(p, *host).WriteText(os.Stdout); return nil }},
+		{"fig5", func() error { bench.Fig5(p).WriteText(os.Stdout); return nil }},
+		{"roofline", func() error { bench.Roofline(p).WriteText(os.Stdout); return nil }},
+		{"fig6", func() error {
+			r, err := bench.Fig6(p)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"fig7", func() error {
+			r, err := bench.Fig7(p)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"fig8", func() error {
+			r, err := bench.Fig8(p)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"fig9", func() error {
+			r, err := bench.Fig9(p)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"fig10", func() error {
+			width := *gantt
+			if width <= 0 {
+				width = 100
+			}
+			r, results, err := bench.Fig10(p, width)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			if *gantt > 0 {
+				for _, res := range results {
+					fmt.Printf("-- %s trace, node %d --\n%s\n", res.Variant, res.TraceNode, res.Gantt)
+				}
+			}
+			return nil
+		}},
+		{"headline", func() error {
+			r, err := bench.Headline(p)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"future", func() error {
+			r, err := bench.Future(p)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"ninepoint", func() error {
+			r, err := bench.NinePoint(p)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"autoplan", func() error {
+			r, err := bench.AutoPlanReport(p)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"sched", func() error {
+			r, err := bench.Schedulers(p)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"weak", func() error {
+			r, err := bench.WeakScaling(p)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+	}
+
+	valid := make([]string, 0, len(runners)+1)
+	valid = append(valid, "all")
+	for _, r := range runners {
+		valid = append(valid, r.id)
+	}
+	known := false
+	for _, v := range valid {
+		if *exp == v {
+			known = true
+		}
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: %s)\n", *exp, strings.Join(valid, ", "))
+		os.Exit(2)
+	}
+
+	for _, r := range runners {
+		if !want(r.id) {
+			continue
+		}
+		if err := r.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		ran++
+	}
+	fmt.Printf("ran %d experiment(s) in %v\n", ran, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,170 @@
+// Command stencilrun executes or simulates one stencil configuration.
+//
+// Usage:
+//
+//	stencilrun -impl ca -machine NaCL -nodes 16 -n 23040 -tile 288 -steps 100 -stepsize 15
+//	stencilrun -impl base -engine real -n 240 -tile 24 -nodes 4 -workers 4 -verify
+//	stencilrun -impl petsc -machine Stampede2 -nodes 16 -n 55296
+//	stencilrun -impl ca -machine NaCL -nodes 16 -ratio 0.4 -trace trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	castencil "castencil"
+	"castencil/internal/core"
+	"castencil/internal/petsc"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "stencilrun:", err)
+	os.Exit(1)
+}
+
+func main() {
+	impl := flag.String("impl", "ca", "implementation: base, ca, petsc")
+	machineName := flag.String("machine", "NaCL", "machine model: NaCL or Stampede2")
+	engine := flag.String("engine", "sim", "engine: sim (virtual time) or real (actual execution)")
+	n := flag.Int("n", 23040, "global grid extent (N x N)")
+	tile := flag.Int("tile", 288, "tile size")
+	nodes := flag.Int("nodes", 16, "node count (perfect square)")
+	steps := flag.Int("steps", 100, "iterations")
+	stepSize := flag.Int("stepsize", 15, "CA step size")
+	ratio := flag.Float64("ratio", 1, "kernel adjustment ratio (sim only)")
+	workers := flag.Int("workers", 2, "workers per node (real engine)")
+	verify := flag.Bool("verify", false, "real engine: compare against the sequential oracle")
+	traceOut := flag.String("trace", "", "sim: write a CSV trace of node 0 to this file")
+	planMode := flag.Bool("plan", false, "run the automatic step-size planner instead of a single config")
+	dotOut := flag.String("dot", "", "write the task graph in Graphviz DOT format to this file and exit (small configs only)")
+	flag.Parse()
+
+	p := 1
+	for p*p < *nodes {
+		p++
+	}
+	if p*p != *nodes {
+		fail(fmt.Errorf("nodes = %d is not a perfect square", *nodes))
+	}
+	m, err := castencil.MachineByName(*machineName)
+	if err != nil {
+		fail(err)
+	}
+	cfg := castencil.Config{N: *n, TileRows: *tile, P: p, Steps: *steps, StepSize: *stepSize}
+
+	if *dotOut != "" {
+		variant := castencil.Base
+		if *impl == "ca" {
+			variant = castencil.CA
+		}
+		g, err := core.BuildGraph(variant, cfg)
+		if err != nil {
+			fail(err)
+		}
+		if len(g.Tasks) > 2000 {
+			fail(fmt.Errorf("graph has %d tasks; DOT export is for small configs (<= 2000)", len(g.Tasks)))
+		}
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := g.WriteDOT(f, fmt.Sprintf("%s N=%d", *impl, *n)); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d tasks)\n", *dotOut, len(g.Tasks))
+		return
+	}
+
+	if *planMode {
+		plan, err := castencil.AutoPlan(cfg, m, *ratio, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("plan for %s, %d nodes, N=%d tile=%d ratio=%.2f:\n", m.Name, *nodes, *n, *tile, *ratio)
+		for _, c := range plan.Candidates {
+			name := "base"
+			if c.StepSize > 0 {
+				name = fmt.Sprintf("CA s=%d", c.StepSize)
+			}
+			marker := ""
+			if c.StepSize == plan.BestStepSize {
+				marker = "  <- recommended"
+			}
+			fmt.Printf("  %-9s %10.1f GFLOP/s%s\n", name, c.GFLOPS, marker)
+		}
+		return
+	}
+
+	if *impl == "petsc" {
+		perf, err := petsc.ModelPerf(m, *n, *nodes, *steps)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("petsc on %s, %d nodes (%d ranks): %.1f GFLOP/s, iter %v (kernel %v, comm %v)\n",
+			m.Name, *nodes, perf.Ranks, perf.GFLOPS, perf.IterTime, perf.KernelTime, perf.CommTime)
+		return
+	}
+
+	var variant castencil.Variant
+	switch *impl {
+	case "base":
+		variant = castencil.Base
+	case "ca":
+		variant = castencil.CA
+	default:
+		fail(fmt.Errorf("unknown impl %q", *impl))
+	}
+
+	switch *engine {
+	case "sim":
+		opts := castencil.SimOptions{Machine: m, Ratio: *ratio}
+		var tr *castencil.Trace
+		if *traceOut != "" {
+			tr = castencil.NewTrace()
+			opts.Trace = tr
+			opts.TraceNode = 0
+		}
+		res, err := castencil.Simulate(variant, cfg, opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s on %s, %d nodes, N=%d tile=%d steps=%d", variant, m.Name, *nodes, *n, *tile, *steps)
+		if variant == castencil.CA {
+			fmt.Printf(" s=%d", *stepSize)
+		}
+		if *ratio != 1 {
+			fmt.Printf(" ratio=%.2f", *ratio)
+		}
+		fmt.Printf("\n  %.1f GFLOP/s, makespan %v, %d messages, %.1f MB sent\n",
+			res.GFLOPS, res.Makespan, res.Messages, float64(res.BytesSent)/1e6)
+		if tr != nil {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			if err := tr.WriteCSV(f); err != nil {
+				fail(err)
+			}
+			fmt.Printf("  trace of node 0 written to %s (%d events)\n", *traceOut, tr.Len())
+		}
+	case "real":
+		res, err := castencil.RunReal(variant, cfg, castencil.ExecOptions{Workers: *workers})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s real run: %d nodes x %d workers, elapsed %v, %d messages, %.1f MB sent\n",
+			variant, *nodes, *workers, res.Exec.Elapsed, res.Exec.Messages, float64(res.Exec.BytesSent)/1e6)
+		if *verify {
+			if d := castencil.Verify(cfg, res); d == 0 {
+				fmt.Println("  verified: bitwise identical to the sequential oracle")
+			} else {
+				fail(fmt.Errorf("verification failed: max diff %v", d))
+			}
+		}
+	default:
+		fail(fmt.Errorf("unknown engine %q", *engine))
+	}
+}

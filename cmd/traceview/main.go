@@ -1,0 +1,68 @@
+// Command traceview renders a CSV execution trace (written by stencilrun
+// -trace or trace.WriteCSV) as per-node text Gantt charts with occupancy
+// statistics — the text analog of the paper's Figure 10.
+//
+// Usage:
+//
+//	traceview -width 120 trace.csv
+//	traceview -node 5 trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"castencil/internal/trace"
+)
+
+func main() {
+	width := flag.Int("width", 100, "chart width in columns")
+	node := flag.Int("node", -1, "render only this node (-1 = all nodes in the trace)")
+	chrome := flag.String("chrome", "", "also write a Chrome/Perfetto trace-event JSON file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceview [-width N] [-node N] trace.csv")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := trace.ReadCSV(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+	if *chrome != "" {
+		cf, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "traceview:", err)
+			os.Exit(1)
+		}
+		if err := tr.WriteChrome(cf); err != nil {
+			fmt.Fprintln(os.Stderr, "traceview:", err)
+			os.Exit(1)
+		}
+		cf.Close()
+		fmt.Printf("chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *chrome)
+	}
+	cores, nodes := tr.MaxCore()
+	for _, nd := range nodes {
+		if *node >= 0 && int32(*node) != nd {
+			continue
+		}
+		events := tr.Node(nd)
+		st := trace.Summarize(events, cores)
+		fmt.Printf("== node %d: %d tasks, span %v, occupancy %.0f%% ==\n",
+			nd, st.Tasks, st.Span.Round(time.Microsecond), 100*st.Occupancy)
+		for kind, med := range st.MedianByKind {
+			fmt.Printf("  %-9s x%-5d median %v\n", kind, st.CountByKind[kind], med.Round(time.Microsecond))
+		}
+		fmt.Print(trace.Gantt(events, cores, trace.GanttConfig{Width: *width}))
+		fmt.Println()
+	}
+}

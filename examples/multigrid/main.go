@@ -1,0 +1,195 @@
+// Multigrid: a geometric multigrid V-cycle for the 2D Poisson problem —
+// one of the canonical stencil-driven algorithms the paper's introduction
+// motivates ("geometric multigrid or Krylov solvers"). Built entirely on
+// the library's public tile/kernel API: weighted-Jacobi smoothing via
+// ApplyStencil, residual/restriction/prolongation on grid tiles.
+//
+// The example contrasts the V-cycle's mesh-independent convergence with
+// plain Jacobi sweeps on the same problem.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	castencil "castencil"
+)
+
+const omega = 0.8 // damped-Jacobi smoothing weight
+
+// level holds the grids of one multigrid level: iterate u, right-hand side
+// f, and a scratch tile. n is the interior extent; h the mesh width.
+type level struct {
+	n       int
+	h       float64
+	u, f, s *castencil.Tile
+}
+
+func newLevel(n int) *level {
+	return &level{
+		n: n,
+		h: 1.0 / float64(n+1),
+		u: castencil.NewGridTile(n, n, 1),
+		f: castencil.NewGridTile(n, n, 0),
+		s: castencil.NewGridTile(n, n, 1),
+	}
+}
+
+// smooth performs damped-Jacobi sweeps: u <- (1-w)u + (w/4)(neighbors) +
+// (w/4) h^2 f. The neighbor average comes from the library's five-point
+// kernel with Heat-style weights.
+func (l *level) smooth(sweeps int) {
+	w := castencil.Weights{C: 1 - omega, N: omega / 4, S: omega / 4, W: omega / 4, E: omega / 4}
+	for s := 0; s < sweeps; s++ {
+		castencil.ApplyStencil(w, l.s, l.u)
+		for r := 0; r < l.n; r++ {
+			for c := 0; c < l.n; c++ {
+				l.s.Set(r, c, l.s.At(r, c)+omega/4*l.h*l.h*l.f.At(r, c))
+			}
+		}
+		l.u, l.s = l.s, l.u
+	}
+}
+
+// residual computes r = f - A u with A = (4u - neighbors)/h^2.
+func (l *level) residual(dst *castencil.Tile) {
+	inv := 1 / (l.h * l.h)
+	for r := 0; r < l.n; r++ {
+		for c := 0; c < l.n; c++ {
+			au := (4*l.u.At(r, c) - l.u.At(r-1, c) - l.u.At(r+1, c) - l.u.At(r, c-1) - l.u.At(r, c+1)) * inv
+			dst.Set(r, c, l.f.At(r, c)-au)
+		}
+	}
+}
+
+// residualNorm returns the max-norm of the residual.
+func (l *level) residualNorm() float64 {
+	tmp := castencil.NewGridTile(l.n, l.n, 0)
+	l.residual(tmp)
+	m := 0.0
+	for r := 0; r < l.n; r++ {
+		for c := 0; c < l.n; c++ {
+			if v := math.Abs(tmp.At(r, c)); v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// restrict full-weights the fine residual onto the coarse RHS (fine n must
+// be 2*coarse+1 so coarse point (i,j) sits on fine point (2i+1, 2j+1)).
+func restrict(fine *castencil.Tile, coarse *level) {
+	for r := 0; r < coarse.n; r++ {
+		for c := 0; c < coarse.n; c++ {
+			fr, fc := 2*r+1, 2*c+1
+			at := func(dr, dc int) float64 {
+				rr, cc := fr+dr, fc+dc
+				if rr < 0 || rr >= fine.Rows || cc < 0 || cc >= fine.Cols {
+					return 0
+				}
+				return fine.At(rr, cc)
+			}
+			coarse.f.Set(r, c,
+				0.25*at(0, 0)+
+					0.125*(at(-1, 0)+at(1, 0)+at(0, -1)+at(0, 1))+
+					0.0625*(at(-1, -1)+at(-1, 1)+at(1, -1)+at(1, 1)))
+		}
+	}
+}
+
+// prolongAdd bilinearly interpolates the coarse correction onto the fine
+// iterate.
+func prolongAdd(coarse *level, fine *level) {
+	e := coarse.u
+	at := func(r, c int) float64 {
+		if r < 0 || r >= coarse.n || c < 0 || c >= coarse.n {
+			return 0 // zero Dirichlet correction on the boundary
+		}
+		return e.At(r, c)
+	}
+	for r := 0; r < fine.n; r++ {
+		for c := 0; c < fine.n; c++ {
+			// Fine (r,c) lies between coarse points ( (r-1)/2, (c-1)/2 ).
+			var v float64
+			switch {
+			case r%2 == 1 && c%2 == 1:
+				v = at((r-1)/2, (c-1)/2)
+			case r%2 == 1:
+				v = 0.5 * (at((r-1)/2, c/2-1+c%2) + at((r-1)/2, c/2))
+			case c%2 == 1:
+				v = 0.5 * (at(r/2-1+r%2, (c-1)/2) + at(r/2, (c-1)/2))
+			default:
+				v = 0.25 * (at(r/2-1, c/2-1) + at(r/2-1, c/2) + at(r/2, c/2-1) + at(r/2, c/2))
+			}
+			fine.u.Set(r, c, fine.u.At(r, c)+v)
+		}
+	}
+}
+
+// vcycle runs one V-cycle over the level hierarchy starting at depth d.
+func vcycle(levels []*level, d int) {
+	l := levels[d]
+	if d == len(levels)-1 {
+		l.smooth(60) // coarsest grid: smooth to death
+		return
+	}
+	l.smooth(3)
+	res := castencil.NewGridTile(l.n, l.n, 0)
+	l.residual(res)
+	coarse := levels[d+1]
+	restrict(res, coarse)
+	// Zero the coarse iterate before solving the error equation.
+	for r := 0; r < coarse.n; r++ {
+		for c := 0; c < coarse.n; c++ {
+			coarse.u.Set(r, c, 0)
+		}
+	}
+	vcycle(levels, d+1)
+	prolongAdd(coarse, l)
+	l.smooth(3)
+}
+
+func main() {
+	// Hierarchy 127 -> 63 -> 31 -> 15 -> 7.
+	sizes := []int{127, 63, 31, 15, 7}
+	levels := make([]*level, len(sizes))
+	for i, n := range sizes {
+		levels[i] = newLevel(n)
+	}
+	fine := levels[0]
+	// Problem: -lap u = 1 on the unit square, zero boundary.
+	for r := 0; r < fine.n; r++ {
+		for c := 0; c < fine.n; c++ {
+			fine.f.Set(r, c, 1)
+		}
+	}
+
+	fmt.Printf("Poisson %dx%d, V(3,3)-cycles vs plain damped Jacobi\n\n", fine.n, fine.n)
+	fmt.Printf("%-8s %-14s\n", "cycle", "residual")
+	r0 := fine.residualNorm()
+	fmt.Printf("%-8d %-14.3e\n", 0, r0)
+	var cycles int
+	for cycles = 1; cycles <= 12; cycles++ {
+		vcycle(levels, 0)
+		rn := fine.residualNorm()
+		fmt.Printf("%-8d %-14.3e\n", cycles, rn)
+		if rn < 1e-8*r0 {
+			break
+		}
+	}
+
+	// Plain Jacobi on the same problem for comparison.
+	plain := newLevel(fine.n)
+	for r := 0; r < plain.n; r++ {
+		for c := 0; c < plain.n; c++ {
+			plain.f.Set(r, c, 1)
+		}
+	}
+	const sweeps = 2000
+	plain.smooth(sweeps)
+	fmt.Printf("\nplain Jacobi after %d sweeps: residual %.3e (vs %.3e after %d V-cycles)\n",
+		sweeps, plain.residualNorm(), fine.residualNorm(), cycles)
+	fmt.Println("multigrid reduces the residual by ~an order of magnitude per cycle,")
+	fmt.Println("mesh-independently — the canonical stencil workload at every level.")
+}

@@ -1,0 +1,3 @@
+module castencil
+
+go 1.22

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"castencil/internal/machine"
+)
+
+// PlanResult reports one candidate evaluated by AutoPlan. StepSize 0 means
+// the base (non-CA) variant.
+type PlanResult struct {
+	StepSize int
+	GFLOPS   float64
+}
+
+// Plan is AutoPlan's outcome.
+type Plan struct {
+	// Best is the recommended configuration: the base variant when
+	// BestStepSize is 0, otherwise CA with that step size.
+	BestStepSize int
+	BestGFLOPS   float64
+	// Candidates lists every evaluated configuration, best first.
+	Candidates []PlanResult
+}
+
+// UseCA reports whether the plan recommends the CA variant at all.
+func (p *Plan) UseCA() bool { return p.BestStepSize > 0 }
+
+// DefaultPlanCandidates is the step-size candidate set AutoPlan probes when
+// none is supplied (the paper's Fig. 9 sweep plus intermediate points).
+var DefaultPlanCandidates = []int{2, 5, 10, 15, 20, 25, 40}
+
+// AutoPlan implements the paper's section-VII future-work item — making the
+// communication-avoiding transformation transparent to the user — at the
+// planning level: it probes the machine model with the virtual-time engine
+// across candidate step sizes (plus the base variant) and returns the best
+// configuration for the given problem. Candidates exceeding the smallest
+// tile dimension are skipped; ratio carries the kernel-adjustment knob
+// (1 = real kernel).
+func AutoPlan(cfg Config, m *machine.Model, ratio float64, candidates []int) (*Plan, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: AutoPlan needs a machine model")
+	}
+	if len(candidates) == 0 {
+		candidates = DefaultPlanCandidates
+	}
+	base, err := Simulate(Base, cfg, SimOptions{Machine: m, Ratio: ratio})
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{Candidates: []PlanResult{{StepSize: 0, GFLOPS: base.GFLOPS}}}
+	for _, s := range candidates {
+		if s < 1 {
+			continue
+		}
+		c := cfg
+		c.StepSize = s
+		if _, err := c.validate(CA); err != nil {
+			continue // step size exceeds a tile dimension: not feasible
+		}
+		res, err := Simulate(CA, c, SimOptions{Machine: m, Ratio: ratio})
+		if err != nil {
+			return nil, err
+		}
+		plan.Candidates = append(plan.Candidates, PlanResult{StepSize: s, GFLOPS: res.GFLOPS})
+	}
+	sort.SliceStable(plan.Candidates, func(i, j int) bool {
+		return plan.Candidates[i].GFLOPS > plan.Candidates[j].GFLOPS
+	})
+	plan.BestStepSize = plan.Candidates[0].StepSize
+	plan.BestGFLOPS = plan.Candidates[0].GFLOPS
+	return plan, nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"castencil/internal/machine"
+)
+
+// machineForTest returns the NaCL model (shared by several test files).
+func machineForTest() *machine.Model { return machine.NaCL() }
+
+func TestAutoPlanPrefersBaseWithRealKernel(t *testing.T) {
+	// With the original kernel the workload is compute-bound: base and CA
+	// tie, and the planner must not hallucinate a big CA win.
+	cfg := Config{N: 2880, TileRows: 288, P: 2, Steps: 6}
+	plan, err := AutoPlan(cfg, machineForTest(), 1, []int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := 0.0
+	for _, c := range plan.Candidates {
+		if c.StepSize == 0 {
+			base = c.GFLOPS
+		}
+	}
+	if plan.BestGFLOPS > base*1.1 {
+		t.Errorf("planner claims %+.0f%% win at ratio 1; base %v best %v",
+			100*(plan.BestGFLOPS/base-1), base, plan.BestGFLOPS)
+	}
+}
+
+func TestAutoPlanPicksCAWhenCommBound(t *testing.T) {
+	// At ratio 0.2 on 16 nodes the base version is communication-bound:
+	// the planner must recommend CA.
+	cfg := Config{N: 5760, TileRows: 288, P: 4, Steps: 10}
+	plan, err := AutoPlan(cfg, machineForTest(), 0.2, []int{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.UseCA() {
+		t.Errorf("planner should pick CA when comm-bound: %+v", plan.Candidates)
+	}
+	// Candidates are sorted best-first.
+	for i := 1; i < len(plan.Candidates); i++ {
+		if plan.Candidates[i].GFLOPS > plan.Candidates[i-1].GFLOPS {
+			t.Error("candidates not sorted")
+		}
+	}
+}
+
+func TestAutoPlanSkipsInfeasibleCandidates(t *testing.T) {
+	cfg := Config{N: 16, TileRows: 4, P: 2, Steps: 6}
+	plan, err := AutoPlan(cfg, machineForTest(), 0.5, []int{2, 4, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range plan.Candidates {
+		if c.StepSize > 4 {
+			t.Errorf("infeasible step size %d evaluated", c.StepSize)
+		}
+	}
+	if len(plan.Candidates) != 3 { // base + s=2 + s=4
+		t.Errorf("candidates = %+v", plan.Candidates)
+	}
+}
+
+func TestAutoPlanValidation(t *testing.T) {
+	if _, err := AutoPlan(Config{N: 16, TileRows: 4, P: 2, Steps: 2}, nil, 1, nil); err == nil {
+		t.Error("nil machine must fail")
+	}
+	if _, err := AutoPlan(Config{N: 16, TileRows: 4, P: 2}, machineForTest(), 1, nil); err == nil {
+		t.Error("invalid config must fail")
+	}
+}
+
+func TestAutoPlanDefaultCandidates(t *testing.T) {
+	cfg := Config{N: 2880, TileRows: 288, P: 2, Steps: 4}
+	plan, err := AutoPlan(cfg, machineForTest(), 0.4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// base + all default candidates (tile 288 admits them all).
+	if len(plan.Candidates) != len(DefaultPlanCandidates)+1 {
+		t.Errorf("candidates = %d, want %d", len(plan.Candidates), len(DefaultPlanCandidates)+1)
+	}
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"castencil/internal/grid"
+	"castencil/internal/ptg"
+	"castencil/internal/stencil"
+)
+
+// tileInfo caches per-tile geometry and classification for graph building.
+type tileInfo struct {
+	ti, tj     int
+	rows, cols int
+	r0, c0     int
+	node       int32
+	// boundary marks tiles with at least one remote cardinal neighbor —
+	// the paper's "boundary tiles", which the CA variant equips with a
+	// deep ghost region and phase-based communication.
+	boundary bool
+	halo     int
+}
+
+type builder struct {
+	v    Variant
+	cfg  Config
+	part *grid.Partition
+	info [][]*tileInfo
+}
+
+// BuildGraph constructs the task graph of a stencil variant. With
+// cfg.WithBodies the graph is executable by internal/runtime; without, it is
+// a cost-only graph for internal/desim.
+func BuildGraph(v Variant, cfg Config) (*ptg.Graph, error) {
+	cfg = cfg.withDefaults()
+	part, err := cfg.validate(v)
+	if err != nil {
+		return nil, err
+	}
+	bd := &builder{v: v, cfg: cfg, part: part}
+	bd.info = make([][]*tileInfo, part.TR)
+	for ti := 0; ti < part.TR; ti++ {
+		bd.info[ti] = make([]*tileInfo, part.TC)
+		for tj := 0; tj < part.TC; tj++ {
+			rows, cols := part.TileDims(ti, tj)
+			r0, c0 := part.TileOrigin(ti, tj)
+			inf := &tileInfo{
+				ti: ti, tj: tj, rows: rows, cols: cols, r0: r0, c0: c0,
+				node:     int32(part.Owner(ti, tj)),
+				boundary: part.IsNodeBoundary(ti, tj),
+			}
+			inf.halo = 1
+			if v == CA && inf.boundary {
+				inf.halo = cfg.StepSize
+			}
+			bd.info[ti][tj] = inf
+		}
+	}
+
+	gb := ptg.NewBuilder(part.Nodes())
+	// Tasks: one chain per tile, steps 0 (init) .. Steps.
+	for ti := 0; ti < part.TR; ti++ {
+		for tj := 0; tj < part.TC; tj++ {
+			inf := bd.info[ti][tj]
+			for t := 0; t <= cfg.Steps; t++ {
+				task := ptg.Task{
+					ID:       taskID(ti, tj, t),
+					Node:     inf.node,
+					Kind:     bd.kind(inf, t),
+					Priority: bd.priority(inf, t),
+					Hint:     bd.hint(inf, t),
+				}
+				if cfg.WithBodies {
+					task.Run = bd.body(inf, t)
+				}
+				if _, err := gb.AddTask(task); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Dependencies.
+	for ti := 0; ti < part.TR; ti++ {
+		for tj := 0; tj < part.TC; tj++ {
+			inf := bd.info[ti][tj]
+			for t := 1; t <= cfg.Steps; t++ {
+				// Serial self-dependency: the tile's double buffer.
+				if err := gb.AddDep(taskID(ti, tj, t), taskID(ti, tj, t-1), ptg.Dep{}); err != nil {
+					return nil, err
+				}
+				for _, d := range grid.AllDirs {
+					p := bd.neighbor(inf, d)
+					if p == nil {
+						continue
+					}
+					depth, ok := bd.flow(p, d.Opposite(), t-1)
+					if !ok {
+						continue
+					}
+					dep := ptg.Dep{}
+					if p.node != inf.node {
+						rect := bd.sendRect(p, d.Opposite(), depth)
+						dep.Bytes = rect.Bytes()
+						if cfg.WithBodies {
+							key := BufKey{TI: p.ti, TJ: p.tj, Step: t - 1, Dir: d.Opposite()}
+							dep.Pack = func(e ptg.Env) []byte {
+								return EncodeFloats(e.Take(key).([]float64))
+							}
+							dep.Unpack = func(e ptg.Env, data []byte) {
+								e.Put(key, DecodeFloats(data))
+							}
+						}
+					}
+					if err := gb.AddDep(taskID(ti, tj, t), taskID(p.ti, p.tj, t-1), dep); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return gb.Build()
+}
+
+func taskID(ti, tj, t int) ptg.TaskID {
+	return ptg.TaskID{Class: "st", I: ti, J: tj, K: t}
+}
+
+func (b *builder) neighbor(inf *tileInfo, d grid.Dir) *tileInfo {
+	ni, nj, ok := b.part.Neighbor(inf.ti, inf.tj, d)
+	if !ok {
+		return nil
+	}
+	return b.info[ni][nj]
+}
+
+// flow is the single source of truth for the dataflow: does tile prod
+// produce a halo buffer toward direction d after iteration t, and how deep?
+//
+//   - Base: one-layer edges toward every cardinal neighbor, every step.
+//   - CA, consumer is a boundary tile: s-deep edges (and s x s corners from
+//     diagonals) only at phase starts (t divisible by the step size); the
+//     final phase is truncated to the remaining steps.
+//   - CA, consumer is interior: one-layer cardinal edges every step, as in
+//     the base version.
+func (b *builder) flow(prod *tileInfo, d grid.Dir, t int) (depth int, ok bool) {
+	if t >= b.cfg.Steps || t < 0 {
+		return 0, false
+	}
+	cons := b.neighbor(prod, d)
+	if cons == nil {
+		return 0, false
+	}
+	if b.v == CA && cons.boundary {
+		s := b.cfg.StepSize
+		if t%s != 0 {
+			return 0, false
+		}
+		depth = s
+		if rem := b.cfg.Steps - t; rem < depth {
+			depth = rem
+		}
+		return depth, true
+	}
+	// The nine-point stencil reads diagonal neighbors, so the per-step
+	// exchange includes 1x1 corner flows.
+	if !d.Cardinal() && !b.cfg.NinePoint {
+		return 0, false
+	}
+	return 1, true
+}
+
+// sendRect returns the rectangle prod packs when flowing depth layers
+// toward d.
+func (b *builder) sendRect(prod *tileInfo, d grid.Dir, depth int) grid.Rect {
+	// Geometry only depends on interior dims, so a throwaway zero-halo
+	// tile view suffices for rect computation; use a cheap struct instead.
+	t := grid.Tile{Rows: prod.rows, Cols: prod.cols}
+	return t.SendRect(d, depth)
+}
+
+func (b *builder) kind(inf *tileInfo, t int) ptg.Kind {
+	switch {
+	case t == 0:
+		return ptg.KindInit
+	case inf.boundary:
+		return ptg.KindBoundary
+	default:
+		return ptg.KindInterior
+	}
+}
+
+// priority favors earlier iterations, and boundary tiles within an
+// iteration so their halos enter the network as soon as possible — the
+// standard PaRSEC priority hint for stencils.
+func (b *builder) priority(inf *tileInfo, t int) int32 {
+	p := int32(b.cfg.Steps-t) * 2
+	if inf.boundary {
+		p++
+	}
+	return p
+}
+
+// phaseGeom returns, for a CA boundary tile at iteration t (>= 1), the
+// effective phase length sp and the in-phase step index k (1-based).
+func (b *builder) phaseGeom(t int) (sp, k int) {
+	s := b.cfg.StepSize
+	t0 := (t - 1) / s * s
+	sp = s
+	if rem := b.cfg.Steps - t0; rem < sp {
+		sp = rem
+	}
+	return sp, t - t0
+}
+
+// region returns the rectangle a CA boundary tile updates at iteration t:
+// the interior extended by the shrinking trapezoid margin on every side
+// that has a neighbor (sides on the global boundary never extend).
+func (b *builder) region(inf *tileInfo, t int) grid.Rect {
+	sp, k := b.phaseGeom(t)
+	ext := sp - k
+	extOf := func(d grid.Dir) int {
+		if ext <= 0 || b.neighbor(inf, d) == nil {
+			return 0
+		}
+		return ext
+	}
+	n, s, w, e := extOf(grid.North), extOf(grid.South), extOf(grid.West), extOf(grid.East)
+	return grid.Rect{
+		R0: -n, C0: -w,
+		H: inf.rows + n + s,
+		W: inf.cols + w + e,
+	}
+}
+
+// hint computes the DES cost quantities of a task.
+func (b *builder) hint(inf *tileInfo, t int) ptg.CostHint {
+	h := ptg.CostHint{Rows: inf.rows, Cols: inf.cols}
+	// Points packed for outgoing flows.
+	for _, d := range grid.AllDirs {
+		if depth, ok := b.flow(inf, d, t); ok {
+			h.CopyPoints += b.sendRect(inf, d, depth).Size()
+		}
+	}
+	if t == 0 {
+		// Init writes the tile once.
+		h.CopyPoints += inf.rows * inf.cols
+		return h
+	}
+	// Points unpacked from incoming flows.
+	for _, d := range grid.AllDirs {
+		p := b.neighbor(inf, d)
+		if p == nil {
+			continue
+		}
+		if depth, ok := b.flow(p, d.Opposite(), t-1); ok {
+			h.CopyPoints += b.sendRect(p, d.Opposite(), depth).Size()
+		}
+	}
+	h.Updates = inf.rows * inf.cols
+	if b.v == CA && inf.boundary {
+		h.RedundantUpdates = b.region(inf, t).Size() - h.Updates
+	}
+	return h
+}
+
+// body builds the executable closure of a task.
+func (b *builder) body(inf *tileInfo, t int) func(ptg.Env) {
+	if t == 0 {
+		return b.initBody(inf)
+	}
+	return b.computeBody(inf, t)
+}
+
+func (b *builder) initBody(inf *tileInfo) func(ptg.Env) {
+	cfg := b.cfg
+	return func(e ptg.Env) {
+		cur := grid.NewTile(inf.rows, inf.cols, inf.halo)
+		next := grid.NewTile(inf.rows, inf.cols, inf.halo)
+		for r := 0; r < inf.rows; r++ {
+			row := cur.Row(r, 0, inf.cols)
+			for c := range row {
+				row[c] = cfg.Init(inf.r0+r, inf.c0+c)
+			}
+		}
+		// Ghost cells outside the global domain hold the fixed boundary in
+		// both buffers; they are never written afterwards.
+		stencil.FillBoundary(cur, inf.r0, inf.c0, cfg.N, cfg.Boundary)
+		stencil.FillBoundary(next, inf.r0, inf.c0, cfg.N, cfg.Boundary)
+		st := &tileState{cur: cur, next: next, r0: inf.r0, c0: inf.c0}
+		e.Put(TileKey{TI: inf.ti, TJ: inf.tj}, st)
+		b.produce(e, st, inf, 0)
+	}
+}
+
+func (b *builder) computeBody(inf *tileInfo, t int) func(ptg.Env) {
+	w := b.cfg.Weights
+	w9 := b.cfg.Weights9
+	nine := b.cfg.NinePoint
+	deepTile := b.v == CA && inf.boundary
+	var rect grid.Rect
+	if deepTile {
+		rect = b.region(inf, t)
+	} else {
+		rect = grid.Rect{R0: 0, C0: 0, H: inf.rows, W: inf.cols}
+	}
+	return func(e ptg.Env) {
+		st := e.Get(TileKey{TI: inf.ti, TJ: inf.tj}).(*tileState)
+		b.consume(e, st, inf, t)
+		if nine {
+			stencil.Apply9(w9, st.next, st.cur, rect)
+		} else {
+			stencil.Apply(w, st.next, st.cur, rect)
+		}
+		st.cur, st.next = st.next, st.cur
+		b.produce(e, st, inf, t)
+	}
+}
+
+// produce packs and publishes every outgoing flow of iteration t.
+func (b *builder) produce(e ptg.Env, st *tileState, inf *tileInfo, t int) {
+	for _, d := range grid.AllDirs {
+		depth, ok := b.flow(inf, d, t)
+		if !ok {
+			continue
+		}
+		buf := st.cur.Pack(st.cur.SendRect(d, depth), nil)
+		e.Put(BufKey{TI: inf.ti, TJ: inf.tj, Step: t, Dir: d}, buf)
+	}
+}
+
+// consume takes and unpacks every incoming flow feeding iteration t.
+func (b *builder) consume(e ptg.Env, st *tileState, inf *tileInfo, t int) {
+	for _, d := range grid.AllDirs {
+		p := b.neighbor(inf, d)
+		if p == nil {
+			continue
+		}
+		depth, ok := b.flow(p, d.Opposite(), t-1)
+		if !ok {
+			continue
+		}
+		key := BufKey{TI: p.ti, TJ: p.tj, Step: t - 1, Dir: d.Opposite()}
+		vals := e.Take(key).([]float64)
+		st.cur.Unpack(st.cur.RecvRect(d, depth), vals)
+	}
+}
+
+// GraphStats builds the graph (cost-only) and returns its statistics;
+// convenient for tests and the documentation tables.
+func GraphStats(v Variant, cfg Config) (ptg.Stats, error) {
+	cfg.WithBodies = false
+	g, err := BuildGraph(v, cfg)
+	if err != nil {
+		return ptg.Stats{}, err
+	}
+	return g.ComputeStats(), nil
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"castencil/internal/ptg"
+)
+
+// buildCA builds a cost-only CA graph and returns it with its builder-side
+// geometry reconstructed for assertions.
+func hintOf(t *testing.T, g *ptg.Graph, ti, tj, step int) ptg.CostHint {
+	t.Helper()
+	idx, ok := g.Lookup(taskID(ti, tj, step))
+	if !ok {
+		t.Fatalf("task (%d,%d,%d) missing", ti, tj, step)
+	}
+	return g.Tasks[idx].Hint
+}
+
+func TestRegionShrinksThroughPhase(t *testing.T) {
+	// 4x4 tiles of 8 over 2x2 nodes, s=4: a fully-interior-to-the-grid
+	// boundary tile like (1,1) extends on all four sides; its redundant
+	// work must shrink monotonically through the phase and hit zero at
+	// the phase end.
+	cfg := Config{N: 32, TileRows: 8, P: 2, Steps: 8, StepSize: 4}
+	g, err := BuildGraph(CA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1 << 30
+	for k := 1; k <= 4; k++ {
+		h := hintOf(t, g, 1, 1, k)
+		if h.RedundantUpdates >= prev {
+			t.Errorf("step %d: redundant %d did not shrink (prev %d)", k, h.RedundantUpdates, prev)
+		}
+		prev = h.RedundantUpdates
+	}
+	if prev != 0 {
+		t.Errorf("phase-end redundant = %d, want 0", prev)
+	}
+	// The second phase repeats the first's shape.
+	if h5, h1 := hintOf(t, g, 1, 1, 5), hintOf(t, g, 1, 1, 1); h5.RedundantUpdates != h1.RedundantUpdates {
+		t.Errorf("phase 2 start redundant %d != phase 1 start %d", h5.RedundantUpdates, h1.RedundantUpdates)
+	}
+	// Exact value at k=1: extension 3 on all four sides of an 8x8 tile:
+	// (8+6)^2 - 64 = 132.
+	if h := hintOf(t, g, 1, 1, 1); h.RedundantUpdates != 132 {
+		t.Errorf("k=1 redundant = %d, want 132", h.RedundantUpdates)
+	}
+}
+
+func TestRegionClippedAtGlobalBoundary(t *testing.T) {
+	// Tile (0,1) sits on the global north edge: no extension upward.
+	// Extension 3 on S/W/E only: (8+3)*(8+6) - 64 = 90.
+	cfg := Config{N: 32, TileRows: 8, P: 2, Steps: 4, StepSize: 4}
+	g, err := BuildGraph(CA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := hintOf(t, g, 0, 1, 1); h.RedundantUpdates != (8+3)*(8+6)-64 {
+		t.Errorf("north-edge tile redundant = %d, want %d", h.RedundantUpdates, (8+3)*(8+6)-64)
+	}
+	// Global corner tile: with one tile per node (4x4 process grid) tile
+	// (0,0) is a boundary tile whose region extends only S/E:
+	// (8+3)^2 - 64 = 57.
+	gc, err := BuildGraph(CA, Config{N: 32, TileRows: 8, P: 4, Steps: 4, StepSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := hintOf(t, gc, 0, 0, 1); h.RedundantUpdates != (8+3)*(8+3)-64 {
+		t.Errorf("corner tile redundant = %d, want %d", h.RedundantUpdates, (8+3)*(8+3)-64)
+	}
+}
+
+func TestTruncatedFinalPhaseGeometry(t *testing.T) {
+	// Steps=6, s=4: the second phase has length 2 — its phase-start task
+	// (step 5) extends by only 1.
+	cfg := Config{N: 32, TileRows: 8, P: 2, Steps: 6, StepSize: 4}
+	g, err := BuildGraph(CA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := hintOf(t, g, 1, 1, 5); h.RedundantUpdates != (8+2)*(8+2)-64 {
+		t.Errorf("truncated-phase redundant = %d, want %d", h.RedundantUpdates, (8+2)*(8+2)-64)
+	}
+	if h := hintOf(t, g, 1, 1, 6); h.RedundantUpdates != 0 {
+		t.Errorf("final step redundant = %d, want 0", h.RedundantUpdates)
+	}
+}
+
+func TestInteriorTilesHaveNoRedundantWork(t *testing.T) {
+	// 8x8 tiles over 2x2 nodes: tiles away from the node cuts are
+	// interior; every step of theirs must be plain.
+	cfg := Config{N: 64, TileRows: 8, P: 2, Steps: 4, StepSize: 4}
+	g, err := BuildGraph(CA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, _ := cfg.Partition()
+	for ti := 0; ti < part.TR; ti++ {
+		for tj := 0; tj < part.TC; tj++ {
+			if part.IsNodeBoundary(ti, tj) {
+				continue
+			}
+			for k := 1; k <= 4; k++ {
+				if h := hintOf(t, g, ti, tj, k); h.RedundantUpdates != 0 {
+					t.Fatalf("interior tile (%d,%d) step %d has redundant %d", ti, tj, k, h.RedundantUpdates)
+				}
+			}
+		}
+	}
+}
+
+func TestDeepFlowBytes(t *testing.T) {
+	// The phase-start message from a cardinal neighbor into a boundary
+	// tile carries s layers: s*tile*8 bytes; the corner flow s*s*8.
+	cfg := Config{N: 32, TileRows: 8, P: 2, Steps: 4, StepSize: 4}
+	g, err := BuildGraph(CA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Boundary tile (1,2) is on node (0,1); its West neighbor (1,1) is on
+	// node (0,0): remote deep edge of 4 layers x 8 rows.
+	idx, _ := g.Lookup(taskID(1, 2, 1))
+	task := &g.Tasks[idx]
+	var sawEdge, sawCorner bool
+	for _, d := range task.Deps {
+		p := g.Tasks[d.Producer]
+		if p.Node == task.Node {
+			continue
+		}
+		switch {
+		case d.Bytes == 4*8*8:
+			sawEdge = true
+		case d.Bytes == 4*4*8:
+			sawCorner = true
+		}
+	}
+	if !sawEdge {
+		t.Error("missing s-deep remote edge flow (2048 bytes)")
+	}
+	if !sawCorner {
+		t.Error("missing s x s remote corner flow (128 bytes)")
+	}
+}
+
+func TestBaseFlowBytes(t *testing.T) {
+	// Base: every remote edge message is one 8-row layer = 64 bytes.
+	cfg := Config{N: 32, TileRows: 8, P: 2, Steps: 3}
+	g, err := BuildGraph(Base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Tasks {
+		task := &g.Tasks[i]
+		for _, d := range task.Deps {
+			if g.Tasks[d.Producer].Node == task.Node {
+				continue
+			}
+			if d.Bytes != 8*8 {
+				t.Fatalf("base remote flow of %d bytes, want 64", d.Bytes)
+			}
+		}
+	}
+}
+
+func TestBuildGraphFuzzNeverPanics(t *testing.T) {
+	// Random (possibly invalid) configurations must either build a valid
+	// graph or return an error — never panic, never build a graph whose
+	// stats are inconsistent.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		cfg := Config{
+			N:        rng.Intn(40) + 1,
+			TileRows: rng.Intn(12) + 1,
+			TileCols: rng.Intn(12), // 0 = default
+			P:        rng.Intn(4) + 1,
+			Q:        rng.Intn(4), // 0 = default
+			Steps:    rng.Intn(6),
+			StepSize: rng.Intn(8),
+		}
+		v := Variant(rng.Intn(2))
+		if rng.Intn(2) == 0 {
+			cfg.NinePoint = true
+		}
+		g, err := BuildGraph(v, cfg)
+		if err != nil {
+			continue
+		}
+		s := g.ComputeStats()
+		part, perr := cfg.Partition()
+		if perr != nil {
+			t.Fatalf("trial %d: graph built but partition invalid: %v", trial, perr)
+		}
+		full := cfg.withDefaults()
+		if want := part.Tiles() * (full.Steps + 1); s.Tasks != want {
+			t.Fatalf("trial %d: tasks %d, want %d", trial, s.Tasks, want)
+		}
+		if s.CriticalPathTasks < full.Steps+1 {
+			t.Fatalf("trial %d: critical path %d < chain %d", trial, s.CriticalPathTasks, full.Steps+1)
+		}
+	}
+}

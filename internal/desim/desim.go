@@ -1,0 +1,294 @@
+// Package desim replays a ptg.Graph in virtual time: tasks occupy compute
+// cores for a model-derived duration and cross-node dependencies occupy NICs
+// and the wire through a netsim.Fabric. The result is a deterministic
+// makespan for a given machine model — the engine behind every performance
+// figure regenerated from the paper (the real cluster is simulated per the
+// substitution rules in DESIGN.md).
+//
+// The simulation is an exact resource-constrained list scheduling: a task
+// starts the moment all its inputs are present on its node AND a core is
+// idle; cores are released at task end; messages leave on the producer
+// node's NIC in completion order (the dedicated communication thread of the
+// paper's PaRSEC configuration).
+package desim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"castencil/internal/netsim"
+	"castencil/internal/ptg"
+	"castencil/internal/trace"
+)
+
+// CostFn prices one task in compute time.
+type CostFn func(t *ptg.Task) time.Duration
+
+// Options configures a simulation.
+type Options struct {
+	// Cores is the number of compute cores per node (the machine's
+	// CoresPerNode minus the communication thread).
+	Cores int
+	// Cost prices each task.
+	Cost CostFn
+	// Fabric models the interconnect. Required when the graph has
+	// cross-node dependencies.
+	Fabric *netsim.Fabric
+	// Policy orders the per-node wait queue when cores are oversubscribed.
+	Policy Policy
+	// Trace, when non-nil, receives an event per task with virtual times.
+	// TraceNode limits collection to one node (<0 = all nodes); traces of
+	// large runs are expensive.
+	Trace     *trace.Trace
+	TraceNode int32
+}
+
+// Policy mirrors the real runtime's scheduling disciplines.
+type Policy int
+
+const (
+	FIFO Policy = iota
+	Priority
+)
+
+// Result is the outcome of a simulation.
+type Result struct {
+	Makespan time.Duration
+	// BusyTime is the total core-seconds spent computing, per node.
+	BusyTime []time.Duration
+	// Messages and BytesSent mirror the fabric counters.
+	Messages  int
+	BytesSent int
+	Tasks     int
+}
+
+// Occupancy returns the average compute-core utilization of a node.
+func (r *Result) Occupancy(node, cores int) float64 {
+	if r.Makespan <= 0 || cores <= 0 {
+		return 0
+	}
+	return float64(r.BusyTime[node]) / (float64(r.Makespan) * float64(cores))
+}
+
+type evKind uint8
+
+const (
+	evTaskDone evKind = iota
+	evMsgArrive
+)
+
+type event struct {
+	at   time.Duration
+	seq  int64
+	kind evKind
+	task int32 // finished task or message's consumer task
+	node int32 // node concerned
+	core int32
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type waitItem struct {
+	task int32
+	prio int32
+	seq  int64
+}
+
+type waitHeap struct {
+	items  []waitItem
+	byPrio bool
+}
+
+func (h waitHeap) Len() int { return len(h.items) }
+func (h waitHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if h.byPrio && a.prio != b.prio {
+		return a.prio > b.prio
+	}
+	return a.seq < b.seq
+}
+func (h waitHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *waitHeap) Push(x any)   { h.items = append(h.items, x.(waitItem)) }
+func (h *waitHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+type simNode struct {
+	idleCores []int32 // stack of idle core ids
+	waiting   waitHeap
+	busy      time.Duration
+}
+
+type sim struct {
+	g      *ptg.Graph
+	opts   Options
+	events eventHeap
+	seq    int64
+	nodes  []*simNode
+	// pending deps per task; ready time accumulates the max input arrival.
+	pending []int32
+	ready   []time.Duration
+	done    int
+}
+
+// Run simulates the graph and returns the makespan and statistics.
+func Run(g *ptg.Graph, opts Options) (*Result, error) {
+	if opts.Cores <= 0 {
+		return nil, fmt.Errorf("desim: Cores must be positive")
+	}
+	if opts.Cost == nil {
+		return nil, fmt.Errorf("desim: Cost function required")
+	}
+	if cross, _ := g.CrossNodeDeps(); cross > 0 && opts.Fabric == nil {
+		return nil, fmt.Errorf("desim: graph has %d cross-node deps but no Fabric", cross)
+	}
+	if opts.Fabric != nil && opts.Fabric.Nodes() < g.NumNodes {
+		return nil, fmt.Errorf("desim: fabric has %d endpoints, graph needs %d", opts.Fabric.Nodes(), g.NumNodes)
+	}
+	s := &sim{
+		g:       g,
+		opts:    opts,
+		nodes:   make([]*simNode, g.NumNodes),
+		pending: make([]int32, len(g.Tasks)),
+		ready:   make([]time.Duration, len(g.Tasks)),
+	}
+	for n := range s.nodes {
+		nd := &simNode{idleCores: make([]int32, 0, opts.Cores)}
+		for c := opts.Cores - 1; c >= 0; c-- {
+			nd.idleCores = append(nd.idleCores, int32(c))
+		}
+		nd.waiting.byPrio = opts.Policy == Priority
+		s.nodes[n] = nd
+	}
+	for i := range g.Tasks {
+		s.pending[i] = int32(len(g.Tasks[i].Deps))
+	}
+	for _, r := range g.Roots() {
+		s.taskReady(r, 0)
+	}
+
+	var makespan time.Duration
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(event)
+		switch ev.kind {
+		case evTaskDone:
+			if ev.at > makespan {
+				makespan = ev.at
+			}
+			s.done++
+			s.release(ev.task, ev.at)
+			// Free the core and pull the next waiter if any.
+			nd := s.nodes[ev.node]
+			nd.idleCores = append(nd.idleCores, ev.core)
+			if nd.waiting.Len() > 0 {
+				it := heap.Pop(&nd.waiting).(waitItem)
+				s.start(it.task, ev.at)
+			}
+		case evMsgArrive:
+			s.satisfy(ev.task, ev.at)
+		}
+	}
+	if s.done != len(g.Tasks) {
+		return nil, fmt.Errorf("desim: quiesced after %d of %d tasks (dependency deadlock)", s.done, len(g.Tasks))
+	}
+	res := &Result{
+		Makespan: makespan,
+		BusyTime: make([]time.Duration, g.NumNodes),
+		Tasks:    s.done,
+	}
+	for n, nd := range s.nodes {
+		res.BusyTime[n] = nd.busy
+	}
+	if opts.Fabric != nil {
+		res.Messages = opts.Fabric.Messages
+		res.BytesSent = opts.Fabric.BytesSent
+	}
+	return res, nil
+}
+
+// taskReady is called when a task's last input arrived at time at.
+func (s *sim) taskReady(idx int32, at time.Duration) {
+	t := &s.g.Tasks[idx]
+	nd := s.nodes[t.Node]
+	if len(nd.idleCores) > 0 {
+		s.start(idx, at)
+		return
+	}
+	s.seq++
+	heap.Push(&nd.waiting, waitItem{task: idx, prio: t.Priority, seq: s.seq})
+}
+
+// start runs the task on an idle core of its node beginning at time at.
+func (s *sim) start(idx int32, at time.Duration) {
+	t := &s.g.Tasks[idx]
+	nd := s.nodes[t.Node]
+	core := nd.idleCores[len(nd.idleCores)-1]
+	nd.idleCores = nd.idleCores[:len(nd.idleCores)-1]
+	d := s.opts.Cost(t)
+	if d < 0 {
+		d = 0
+	}
+	nd.busy += d
+	end := at + d
+	if s.opts.Trace != nil && (s.opts.TraceNode < 0 || s.opts.TraceNode == t.Node) {
+		s.opts.Trace.Record(trace.Event{
+			ID: t.ID, Kind: t.Kind, Node: t.Node, Core: core, Start: at, End: end,
+		})
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: end, seq: s.seq, kind: evTaskDone, task: idx, node: t.Node, core: core})
+}
+
+// release propagates a finished task's outputs to its consumers.
+func (s *sim) release(idx int32, at time.Duration) {
+	t := &s.g.Tasks[idx]
+	for _, sIdx := range t.Succs {
+		c := &s.g.Tasks[sIdx]
+		for di := range c.Deps {
+			d := &c.Deps[di]
+			if d.Producer != idx {
+				continue
+			}
+			if c.Node == t.Node {
+				s.satisfy(sIdx, at)
+				continue
+			}
+			arrive := s.opts.Fabric.Send(int(t.Node), int(c.Node), d.Bytes, at)
+			s.seq++
+			heap.Push(&s.events, event{at: arrive, seq: s.seq, kind: evMsgArrive, task: sIdx, node: c.Node})
+		}
+	}
+}
+
+// satisfy accounts one input arrival for a task.
+func (s *sim) satisfy(idx int32, at time.Duration) {
+	if at > s.ready[idx] {
+		s.ready[idx] = at
+	}
+	s.pending[idx]--
+	if s.pending[idx] == 0 {
+		s.taskReady(idx, s.ready[idx])
+	}
+}

@@ -1,0 +1,147 @@
+// Package membench implements a STREAM-style sustained-memory-bandwidth
+// microbenchmark (McCalpin) in pure Go. The paper uses STREAM (Table I) to
+// establish each machine's achieved memory bandwidth; this package lets a
+// user of this repository measure the host they are running on and calibrate
+// a custom machine.Model from it.
+package membench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"castencil/internal/machine"
+)
+
+// Config controls a STREAM run.
+type Config struct {
+	// N is the number of float64 elements per array. STREAM's rule is that
+	// each array must be at least 4x the total cache; 1<<24 (128 MB/array)
+	// is a safe default on current machines.
+	N int
+	// Reps is the number of timed repetitions; the best (minimum) time is
+	// reported, as in the reference implementation.
+	Reps int
+	// Workers is the number of concurrent goroutines (1 = single "core",
+	// runtime.NumCPU() = full "node").
+	Workers int
+}
+
+// DefaultConfig returns a configuration suitable for quick host calibration.
+func DefaultConfig() Config {
+	return Config{N: 1 << 23, Reps: 3, Workers: runtime.NumCPU()}
+}
+
+func (c *Config) sanitize() {
+	if c.N <= 0 {
+		c.N = 1 << 23
+	}
+	if c.Reps <= 0 {
+		c.Reps = 3
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Workers > c.N {
+		c.Workers = 1
+	}
+}
+
+// Run executes the four STREAM kernels and returns sustained bandwidth in
+// MB/s (decimal, like the reference STREAM output and Table I).
+func Run(cfg Config) machine.StreamResult {
+	cfg.sanitize()
+	a := make([]float64, cfg.N)
+	b := make([]float64, cfg.N)
+	c := make([]float64, cfg.N)
+	for i := range a {
+		a[i] = 1.0
+		b[i] = 2.0
+		c[i] = 0.0
+	}
+	const q = 3.0
+
+	// Bytes moved per element, per the STREAM accounting rules.
+	copyBytes := 16.0  // read + write
+	scaleBytes := 16.0 // read + write
+	addBytes := 24.0   // 2 reads + write
+	triadBytes := 24.0 // 2 reads + write
+
+	copyT := best(cfg, func(lo, hi int) {
+		copy(c[lo:hi], a[lo:hi])
+	})
+	scaleT := best(cfg, func(lo, hi int) {
+		bb, cc := b[lo:hi], c[lo:hi]
+		for i := range bb {
+			bb[i] = q * cc[i]
+		}
+	})
+	addT := best(cfg, func(lo, hi int) {
+		aa, bb, cc := a[lo:hi], b[lo:hi], c[lo:hi]
+		for i := range cc {
+			cc[i] = aa[i] + bb[i]
+		}
+	})
+	triadT := best(cfg, func(lo, hi int) {
+		aa, bb, cc := a[lo:hi], b[lo:hi], c[lo:hi]
+		for i := range aa {
+			aa[i] = bb[i] + q*cc[i]
+		}
+	})
+
+	n := float64(cfg.N)
+	mbs := func(bytesPer float64, t time.Duration) float64 {
+		if t <= 0 {
+			return 0
+		}
+		return n * bytesPer / t.Seconds() / 1e6
+	}
+	return machine.StreamResult{
+		Copy:  mbs(copyBytes, copyT),
+		Scale: mbs(scaleBytes, scaleT),
+		Add:   mbs(addBytes, addT),
+		Triad: mbs(triadBytes, triadT),
+	}
+}
+
+// best runs the kernel cfg.Reps times across cfg.Workers goroutines and
+// returns the minimum elapsed wall time.
+func best(cfg Config, kernel func(lo, hi int)) time.Duration {
+	min := time.Duration(0)
+	for rep := 0; rep < cfg.Reps; rep++ {
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			lo := w * cfg.N / cfg.Workers
+			hi := (w + 1) * cfg.N / cfg.Workers
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				kernel(lo, hi)
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if min == 0 || elapsed < min {
+			min = elapsed
+		}
+	}
+	return min
+}
+
+// CalibrateHost builds a machine.Model for the local host: it measures
+// STREAM with 1 worker and with all workers and borrows the remaining
+// (network, kernel) constants from a template model. The result lets every
+// experiment in this repository be re-run against "your laptop as a node".
+func CalibrateHost(template *machine.Model, cfg Config) *machine.Model {
+	cfg.sanitize()
+	one := cfg
+	one.Workers = 1
+	m := *template
+	m.Name = fmt.Sprintf("host(%d cores)", runtime.NumCPU())
+	m.CoresPerNode = runtime.NumCPU()
+	m.StreamCore = Run(one)
+	m.StreamNode = Run(cfg)
+	return &m
+}

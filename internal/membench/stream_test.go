@@ -1,0 +1,69 @@
+package membench
+
+import (
+	"runtime"
+	"testing"
+
+	"castencil/internal/machine"
+)
+
+func smallCfg(workers int) Config {
+	return Config{N: 1 << 18, Reps: 2, Workers: workers}
+}
+
+func TestRunProducesPositiveBandwidth(t *testing.T) {
+	r := Run(smallCfg(1))
+	for name, v := range map[string]float64{
+		"COPY": r.Copy, "SCALE": r.Scale, "ADD": r.Add, "TRIAD": r.Triad,
+	} {
+		if v <= 0 {
+			t.Errorf("%s bandwidth = %v MB/s, want > 0", name, v)
+		}
+		if v > 5e7 { // 50 TB/s: nonsense guard
+			t.Errorf("%s bandwidth = %v MB/s looks unphysical", name, v)
+		}
+	}
+}
+
+func TestRunParallelNotCatastrophic(t *testing.T) {
+	if runtime.NumCPU() < 2 {
+		t.Skip("single-CPU host")
+	}
+	seq := Run(smallCfg(1))
+	par := Run(smallCfg(runtime.NumCPU()))
+	// Parallel STREAM may be limited by a shared memory controller, but it
+	// should not be 10x slower than sequential.
+	if par.Copy < seq.Copy/10 {
+		t.Errorf("parallel COPY %v MB/s vs sequential %v MB/s", par.Copy, seq.Copy)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	var c Config
+	c.sanitize()
+	if c.N <= 0 || c.Reps <= 0 || c.Workers <= 0 {
+		t.Errorf("sanitize left invalid config: %+v", c)
+	}
+	c = Config{N: 4, Reps: 1, Workers: 100}
+	c.sanitize()
+	if c.Workers > c.N {
+		t.Errorf("workers %d must not exceed N %d", c.Workers, c.N)
+	}
+}
+
+func TestCalibrateHost(t *testing.T) {
+	m := CalibrateHost(machine.NaCL(), smallCfg(runtime.NumCPU()))
+	if err := m.Validate(); err != nil {
+		t.Fatalf("calibrated model invalid: %v", err)
+	}
+	if m.CoresPerNode != runtime.NumCPU() {
+		t.Errorf("CoresPerNode = %d, want %d", m.CoresPerNode, runtime.NumCPU())
+	}
+	if m.StreamNode.Copy <= 0 {
+		t.Error("calibrated node COPY must be positive")
+	}
+	// Network constants are borrowed from the template.
+	if m.Net != machine.NaCL().Net {
+		t.Error("network parameters should be copied from template")
+	}
+}

@@ -1,0 +1,192 @@
+package memmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"castencil/internal/machine"
+)
+
+func TestArithmeticIntensityBand(t *testing.T) {
+	// Paper section V: "we will use the range of 0.37 to 0.56 as our
+	// arithmetic intensity".
+	if AIMin < 0.37 || AIMin > 0.38 {
+		t.Errorf("AIMin = %v, want ~0.375", AIMin)
+	}
+	if AIMax < 0.56 || AIMax > 0.57 {
+		t.Errorf("AIMax = %v, want ~0.5625", AIMax)
+	}
+}
+
+func TestRooflineBands(t *testing.T) {
+	// Paper: "effective peak performance between 14.5 to 21.9 GFLOP/s and
+	// 63.8 to 96.6 GFLOP/s" for NaCL and Stampede2. Our STREAM table uses
+	// decimal MB, so allow a few percent slack.
+	r := RooflineFor(machine.NaCL())
+	if r.PeakMinGF < 13.5 || r.PeakMinGF > 15.5 {
+		t.Errorf("NaCL roofline min = %.1f GF, want ~14.5-15", r.PeakMinGF)
+	}
+	if r.PeakMaxGF < 21 || r.PeakMaxGF > 23.5 {
+		t.Errorf("NaCL roofline max = %.1f GF, want ~21.9-22.5", r.PeakMaxGF)
+	}
+	r = RooflineFor(machine.Stampede2())
+	if r.PeakMinGF < 62 || r.PeakMinGF > 68 {
+		t.Errorf("Stampede2 roofline min = %.1f GF, want ~63.8-66.3", r.PeakMinGF)
+	}
+	if r.PeakMaxGF < 94 || r.PeakMaxGF > 101 {
+		t.Errorf("Stampede2 roofline max = %.1f GF, want ~96.6-99.4", r.PeakMaxGF)
+	}
+}
+
+func TestKernelCostSingleNodePlateau(t *testing.T) {
+	// With the calibrated model, a full node running the optimal tile size
+	// should land near the paper's Fig. 6 plateaus: ~11 GFLOP/s on NaCL
+	// (tiles 200-300), ~43.5 GFLOP/s on Stampede2 (tiles 400-2000).
+	cases := []struct {
+		m      *machine.Model
+		tile   int
+		wantGF float64
+		tolGF  float64
+	}{
+		{machine.NaCL(), 288, 11, 1.5},
+		{machine.Stampede2(), 864, 43.5, 4},
+	}
+	for _, c := range cases {
+		dt := KernelCost(c.m, c.tile, c.tile, 1, 0)
+		perCore := GFLOPS(float64(c.tile)*float64(c.tile), dt)
+		node := perCore * float64(c.m.ComputeCores())
+		if math.Abs(node-c.wantGF) > c.tolGF {
+			t.Errorf("%s tile %d: node GFLOP/s = %.2f, want %.1f +/- %.1f",
+				c.m.Name, c.tile, node, c.wantGF, c.tolGF)
+		}
+	}
+}
+
+func TestKernelCostSmallTileOverheadDominates(t *testing.T) {
+	m := machine.NaCL()
+	tiny := KernelCost(m, 16, 16, 1, 0)
+	if tiny < m.Kern.TaskOverhead {
+		t.Errorf("cost %v below task overhead %v", tiny, m.Kern.TaskOverhead)
+	}
+	// Per-update efficiency must be much worse for tiny tiles.
+	effTiny := GFLOPS(16*16, tiny)
+	effGood := GFLOPS(288*288, KernelCost(m, 288, 288, 1, 0))
+	if effTiny > effGood/2 {
+		t.Errorf("tiny tile efficiency %.3f should be far below plateau %.3f", effTiny, effGood)
+	}
+}
+
+func TestKernelCostCachePenalty(t *testing.T) {
+	m := machine.NaCL()
+	// Per-update time should jump once the working set exceeds the cache
+	// share (2MB on NaCL => tile ~360).
+	in := KernelCost(m, 300, 300, 1, 0).Seconds() / (300 * 300)
+	out := KernelCost(m, 500, 500, 1, 0).Seconds() / (500 * 500)
+	if out <= in {
+		t.Errorf("per-update cost should rise out of cache: in=%.3g out=%.3g", in, out)
+	}
+}
+
+func TestKernelCostRatio(t *testing.T) {
+	m := machine.Stampede2()
+	full := KernelCost(m, 864, 864, 1, 0)
+	half := KernelCost(m, 864, 864, 0.5, 0)
+	// ratio 0.5 updates a quarter of the points; minus overhead the
+	// variable part should scale by ~4x.
+	varFull := full - m.Kern.TaskOverhead
+	varHalf := half - m.Kern.TaskOverhead
+	got := float64(varFull) / float64(varHalf)
+	if math.Abs(got-4) > 0.01 {
+		t.Errorf("ratio 0.5 variable-cost scaling = %.3f, want 4", got)
+	}
+}
+
+func TestKernelCostInvalidRatioMeansFull(t *testing.T) {
+	m := machine.NaCL()
+	if KernelCost(m, 100, 100, 0, 0) != KernelCost(m, 100, 100, 1, 0) {
+		t.Error("ratio 0 should fall back to full kernel")
+	}
+	if KernelCost(m, 100, 100, 1.5, 0) != KernelCost(m, 100, 100, 1, 0) {
+		t.Error("ratio > 1 should fall back to full kernel")
+	}
+}
+
+func TestKernelCostGhostTraffic(t *testing.T) {
+	m := machine.NaCL()
+	base := KernelCost(m, 288, 288, 1, 0)
+	withGhost := KernelCost(m, 288, 288, 1, 4*288)
+	if withGhost <= base {
+		t.Error("ghost copy traffic must increase task cost")
+	}
+}
+
+func TestKernelCostMonotonicInSize(t *testing.T) {
+	m := machine.Stampede2()
+	f := func(a, b uint8) bool {
+		x, y := int(a)+1, int(b)+1
+		if x > y {
+			x, y = y, x
+		}
+		return KernelCost(m, x, x, 1, 0) <= KernelCost(m, y, y, 1, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGFLOPS(t *testing.T) {
+	if g := GFLOPS(1e9, time.Second); math.Abs(g-9) > 1e-9 {
+		t.Errorf("GFLOPS(1e9, 1s) = %v, want 9", g)
+	}
+	if g := GFLOPS(100, 0); g != 0 {
+		t.Errorf("GFLOPS with zero time = %v, want 0", g)
+	}
+}
+
+func TestSweepFlops(t *testing.T) {
+	// The paper's FLOP accounting: 9 n^2 per sweep.
+	if got := SweepFlops(1000, 100); got != 9e8*1 {
+		t.Errorf("SweepFlops(1000,100) = %g, want 9e8", got)
+	}
+}
+
+func TestPerUpdateBytes(t *testing.T) {
+	m := machine.NaCL()
+	if got := PerUpdateBytes(m, 100, 100); got != m.Kern.BytesPerUpdate {
+		t.Errorf("in-cache bytes = %v, want %v", got, m.Kern.BytesPerUpdate)
+	}
+	if got := PerUpdateBytes(m, 1000, 1000); got != m.Kern.BytesPerUpdate+m.Kern.CachePenaltyBytes {
+		t.Errorf("out-of-cache bytes = %v", got)
+	}
+}
+
+func TestUpdateTimeLinearInUpdates(t *testing.T) {
+	m := machine.Stampede2()
+	one := UpdateTime(m, 288, 288, 1000)
+	two := UpdateTime(m, 288, 288, 2000)
+	if math.Abs(float64(two)-2*float64(one)) > 2 {
+		t.Errorf("UpdateTime not linear: %v vs 2*%v", two, one)
+	}
+}
+
+func TestCopyTimePositive(t *testing.T) {
+	m := machine.NaCL()
+	if CopyTime(m, 0) != 0 {
+		t.Error("zero points must cost zero")
+	}
+	if CopyTime(m, 1000) <= 0 {
+		t.Error("positive points must cost time")
+	}
+}
+
+func TestKernelCostDecomposition(t *testing.T) {
+	// KernelCost must equal overhead + UpdateTime + CopyTime exactly.
+	m := machine.NaCL()
+	mb, nb, ghost := 288, 288, 1200
+	want := m.Kern.TaskOverhead + UpdateTime(m, mb, nb, float64(mb*nb)) + CopyTime(m, ghost)
+	if got := KernelCost(m, mb, nb, 1, ghost); got != want {
+		t.Errorf("KernelCost = %v, want %v", got, want)
+	}
+}

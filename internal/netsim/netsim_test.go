@@ -1,0 +1,170 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"castencil/internal/machine"
+)
+
+func TestNetPIPESweepShape(t *testing.T) {
+	for _, m := range machine.Builtin() {
+		pts := NetPIPE(m.Net, 256, 4<<20)
+		if len(pts) < 10 {
+			t.Fatalf("%s: sweep too short: %d points", m.Name, len(pts))
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].PercentPeak < pts[i-1].PercentPeak {
+				t.Errorf("%s: efficiency not monotone at %d bytes", m.Name, pts[i].Bytes)
+			}
+			if pts[i].Bytes != pts[i-1].Bytes*2 {
+				t.Errorf("%s: sweep must double sizes", m.Name)
+			}
+		}
+		last := pts[len(pts)-1]
+		if last.BandwidthGbps > m.Net.AsymptoteGbps {
+			t.Errorf("%s: achieved %v Gb/s exceeds asymptote", m.Name, last.BandwidthGbps)
+		}
+	}
+}
+
+func TestNetPIPEPaperEndpoints(t *testing.T) {
+	// Paper section VII: bandwidth efficiency grows "from 20 percent to 70
+	// percent of peak" as CA aggregates messages. Check the Fig. 5 curves
+	// bracket that range.
+	nacl := NetPIPE(machine.NaCL().Net, 256, 4<<20)
+	if first := nacl[0].PercentPeak; first > 25 {
+		t.Errorf("NaCL 256B efficiency %.1f%%, want <= 25%%", first)
+	}
+	if last := nacl[len(nacl)-1].PercentPeak; last < 70 {
+		t.Errorf("NaCL 4MB efficiency %.1f%%, want >= 70%%", last)
+	}
+}
+
+func TestFabricSameNodeFree(t *testing.T) {
+	f := NewFabric(machine.NaCL().Net, 4)
+	if got := f.Send(2, 2, 1<<20, 5*time.Millisecond); got != 5*time.Millisecond {
+		t.Errorf("same-node send should be free, got %v", got)
+	}
+	if f.Messages != 0 {
+		t.Errorf("same-node send counted as message")
+	}
+}
+
+func TestFabricLatencyAndSerialization(t *testing.T) {
+	net := machine.NaCL().Net
+	f := NewFabric(net, 2)
+	bytes := 1 << 20
+	done := f.Send(0, 1, bytes, 0)
+	want := 2*f.Serialization(bytes) + net.Latency
+	if done != want {
+		t.Errorf("single message done at %v, want %v", done, want)
+	}
+}
+
+func TestFabricNICSerializesSends(t *testing.T) {
+	net := machine.NaCL().Net
+	f := NewFabric(net, 3)
+	bytes := 64 << 10
+	d1 := f.Send(0, 1, bytes, 0)
+	d2 := f.Send(0, 2, bytes, 0) // same sender NIC: must queue behind d1's injection
+	if d2 <= d1 {
+		t.Errorf("second send on the same NIC finished at %v, not after first %v", d2, d1)
+	}
+	ser := f.Serialization(bytes)
+	if d2 != d1+ser {
+		t.Errorf("second send %v, want first(%v)+serialization(%v)", d2, d1, ser)
+	}
+}
+
+func TestFabricReceiverContention(t *testing.T) {
+	net := machine.NaCL().Net
+	f := NewFabric(net, 3)
+	bytes := 64 << 10
+	d1 := f.Send(0, 2, bytes, 0)
+	d2 := f.Send(1, 2, bytes, 0) // distinct senders, same receiver NIC
+	if d2 <= d1 {
+		t.Errorf("receiver NIC must serialize: %v then %v", d1, d2)
+	}
+}
+
+func TestFabricAggregationBeatsManySmall(t *testing.T) {
+	// The CA premise: one s-layer message beats s one-layer messages.
+	net := machine.NaCL().Net
+	s := 15
+	edge := 288 * 8 // one tile edge in bytes
+
+	many := NewFabric(net, 2)
+	var t1 time.Duration
+	for i := 0; i < s; i++ {
+		t1 = many.Send(0, 1, edge, t1)
+	}
+
+	one := NewFabric(net, 2)
+	t2 := one.Send(0, 1, s*edge, 0)
+
+	if t2 >= t1 {
+		t.Errorf("aggregated message (%v) should beat %d small messages (%v)", t2, s, t1)
+	}
+}
+
+func TestFabricReset(t *testing.T) {
+	f := NewFabric(machine.NaCL().Net, 2)
+	f.Send(0, 1, 1024, 0)
+	f.Reset()
+	if f.Messages != 0 || f.BytesSent != 0 {
+		t.Error("reset must clear stats")
+	}
+	if d := f.Send(0, 1, 1024, 0); d != 2*f.Serialization(1024)+machine.NaCL().Net.Latency {
+		t.Error("reset must clear NIC occupancy")
+	}
+}
+
+func TestFabricMonotoneReadyTime(t *testing.T) {
+	// Property: delaying the ready time never makes the arrival earlier.
+	net := machine.Stampede2().Net
+	fn := func(r1, r2 uint16, sz uint16) bool {
+		a, b := time.Duration(r1)*time.Microsecond, time.Duration(r2)*time.Microsecond
+		if a > b {
+			a, b = b, a
+		}
+		bytes := int(sz) + 1
+		f1 := NewFabric(net, 2)
+		f2 := NewFabric(net, 2)
+		return f1.Send(0, 1, bytes, a) <= f2.Send(0, 1, bytes, b)
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommBusyAccounting(t *testing.T) {
+	net := machine.NaCL().Net
+	f := NewFabric(net, 3)
+	f.Send(0, 1, 1024, 0)
+	f.Send(0, 2, 2048, 0)
+	// Node 0 paid serialization for both sends; 1 and 2 one receive each.
+	want0 := f.Serialization(1024) + f.Serialization(2048)
+	if f.CommBusy(0) != want0 {
+		t.Errorf("node 0 busy = %v, want %v", f.CommBusy(0), want0)
+	}
+	if f.CommBusy(1) != f.Serialization(1024) {
+		t.Errorf("node 1 busy = %v", f.CommBusy(1))
+	}
+	f.Reset()
+	if f.CommBusy(0) != 0 {
+		t.Error("reset must clear busy time")
+	}
+}
+
+func TestSerializationIncludesOverhead(t *testing.T) {
+	net := machine.NaCL().Net
+	f := NewFabric(net, 2)
+	if f.Serialization(0) != net.MsgOverhead {
+		t.Errorf("zero-byte serialization = %v, want overhead %v", f.Serialization(0), net.MsgOverhead)
+	}
+	if f.Serialization(1024) <= net.MsgOverhead {
+		t.Error("payload must add to overhead")
+	}
+}

@@ -1,0 +1,258 @@
+package petsc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"castencil/internal/machine"
+	"castencil/internal/stencil"
+)
+
+func TestLaplace5Structure(t *testing.T) {
+	n := 4
+	op := Laplace5(n, stencil.Jacobi(), stencil.ConstBoundary(0), 0, n*n)
+	if op.LocalRows() != 16 {
+		t.Fatalf("rows = %d", op.LocalRows())
+	}
+	// Every row holds exactly 5 entries (kernel order), ghosts included.
+	if op.NNZ() != 5*n*n {
+		t.Errorf("nnz = %d, want %d", op.NNZ(), 5*n*n)
+	}
+	// Ghost columns: one per out-of-domain adjacency = 4n.
+	if len(op.Bvals) != 4*n {
+		t.Errorf("ghost columns = %d, want %d", len(op.Bvals), 4*n)
+	}
+	for _, v := range op.Bvals {
+		if v != 0 {
+			t.Errorf("zero boundary must give zero ghost values, got %v", v)
+		}
+	}
+}
+
+func TestLaplace5BoundaryVector(t *testing.T) {
+	n := 3
+	bnd := func(gr, gc int) float64 { return 10 }
+	op := Laplace5(n, stencil.Jacobi(), bnd, 0, n*n)
+	x := make([]float64, n*n) // zero interior
+	y := make([]float64, n*n)
+	MatMult(&op.AIJ, op.Lookup(func(c int64) float64 { return x[c] }), y)
+	// Corner row 0 has two out-of-domain neighbors (N and W): 2*0.25*10.
+	if y[0] != 5 {
+		t.Errorf("corner = %v, want 5", y[0])
+	}
+	// Center row 4 has none.
+	if y[4] != 0 {
+		t.Errorf("center = %v, want 0", y[4])
+	}
+}
+
+func TestMatMultMatchesStencilBitwise(t *testing.T) {
+	// The SpMV formulation must reproduce the stencil kernel exactly,
+	// bit for bit, because rows accumulate in kernel order.
+	n := 7
+	w := stencil.Weights{C: 0.1, N: 0.2, S: 0.3, W: 0.15, E: 0.25}
+	init := stencil.HashInit(3)
+	bnd := func(gr, gc int) float64 { return float64(gr+gc) * 0.01 }
+
+	ref := stencil.NewReference(n, w, init, bnd)
+	ref.Step()
+
+	op := Laplace5(n, w, bnd, 0, n*n)
+	x := make([]float64, n*n)
+	for i := range x {
+		x[i] = init(i/n, i%n)
+	}
+	y := make([]float64, n*n)
+	MatMult(&op.AIJ, op.Lookup(func(c int64) float64 { return x[c] }), y)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if got, want := y[r*n+c], ref.At(r, c); got != want {
+				t.Fatalf("(%d,%d): %v != %v", r, c, got, want)
+			}
+		}
+	}
+}
+
+func TestRunJacobiSerialMatchesReference(t *testing.T) {
+	n, iters := 9, 6
+	w := stencil.Jacobi()
+	init := stencil.HashInit(8)
+	bnd := stencil.ConstBoundary(1)
+	res, err := RunJacobi(n, w, init, bnd, 1, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := stencil.NewReference(n, w, init, bnd)
+	ref.Run(iters)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if got, want := res.X[r*n+c], ref.At(r, c); got != want {
+				t.Fatalf("(%d,%d): %v != %v (bitwise)", r, c, got, want)
+			}
+		}
+	}
+	if res.Messages != 0 {
+		t.Errorf("serial run sent %d messages", res.Messages)
+	}
+}
+
+func TestRunJacobiDistributedMatchesReference(t *testing.T) {
+	n, iters := 12, 8
+	w := stencil.Heat(0.15)
+	init := stencil.HashInit(5)
+	bnd := func(gr, gc int) float64 { return float64(gr - gc) }
+	ref := stencil.NewReference(n, w, init, bnd)
+	ref.Run(iters)
+	for _, ranks := range []int{2, 3, 5, 8, 16} {
+		res, err := RunJacobi(n, w, init, bnd, ranks, iters)
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				if got, want := res.X[r*n+c], ref.At(r, c); got != want {
+					t.Fatalf("ranks=%d (%d,%d): %v != %v", ranks, r, c, got, want)
+				}
+			}
+		}
+		if ranks > 1 && res.Messages == 0 {
+			t.Errorf("ranks=%d: no scatter messages", ranks)
+		}
+	}
+}
+
+func TestRunJacobiManySmallRanks(t *testing.T) {
+	// Blocks much smaller than one grid row: ghost spans cross several
+	// ranks. 5x5 grid over 17 ranks -> 1-2 rows per rank.
+	n, iters := 5, 4
+	w := stencil.Jacobi()
+	init := stencil.HashInit(2)
+	bnd := stencil.ConstBoundary(0)
+	ref := stencil.NewReference(n, w, init, bnd)
+	ref.Run(iters)
+	res, err := RunJacobi(n, w, init, bnd, 17, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.X {
+		if want := ref.At(i/n, i%n); v != want {
+			t.Fatalf("row %d: %v != %v", i, v, want)
+		}
+	}
+}
+
+func TestRunJacobiPropertyRandomRanks(t *testing.T) {
+	// Property: any rank count from 1..rows gives the same bits.
+	w := stencil.Jacobi()
+	init := stencil.HashInit(77)
+	bnd := stencil.ConstBoundary(0.5)
+	n, iters := 6, 3
+	ref := stencil.NewReference(n, w, init, bnd)
+	ref.Run(iters)
+	f := func(rk uint8) bool {
+		ranks := int(rk)%(n*n) + 1
+		res, err := RunJacobi(n, w, init, bnd, ranks, iters)
+		if err != nil {
+			return false
+		}
+		for i, v := range res.X {
+			if v != ref.At(i/n, i%n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunJacobiValidation(t *testing.T) {
+	w := stencil.Jacobi()
+	init := stencil.HashInit(0)
+	bnd := stencil.ConstBoundary(0)
+	if _, err := RunJacobi(0, w, init, bnd, 1, 1); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := RunJacobi(4, w, init, bnd, 0, 1); err == nil {
+		t.Error("ranks=0 must fail")
+	}
+	if _, err := RunJacobi(2, w, init, bnd, 100, 1); err == nil {
+		t.Error("more ranks than rows must fail")
+	}
+	if res, err := RunJacobi(4, w, init, bnd, 2, 0); err != nil || res == nil {
+		t.Error("0 iterations must return the initial vector")
+	}
+}
+
+func TestModelPerfTwoXGap(t *testing.T) {
+	// The modeled PETSc kernel must land at about half the tile kernel's
+	// node performance (the paper's headline comparison).
+	for _, m := range machine.Builtin() {
+		p, err := ModelPerf(m, 23040, 1, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tile-side node GFLOP/s at the calibrated plateau:
+		tile := 9.0 / (2 * m.Kern.BytesPerUpdate / (m.StreamNode.BytesPerSec() / float64(m.CoresPerNode))) / 1e9 * float64(m.CoresPerNode)
+		_ = tile
+		ratio := p.GFLOPS * 2 * m.Kern.BytesPerUpdate / 9.0 / m.StreamNode.BytesPerSec() * 1e9
+		if math.Abs(ratio-1) > 0.01 {
+			t.Errorf("%s: kernel-bound GFLOPS off: ratio %v", m.Name, ratio)
+		}
+	}
+}
+
+func TestModelPerfScaling(t *testing.T) {
+	m := machine.NaCL()
+	p1, err := ModelPerf(m, 23040, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p64, err := ModelPerf(m, 23040, 64, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := p64.GFLOPS / p1.GFLOPS
+	if speedup < 30 || speedup > 64.5 {
+		t.Errorf("64-node speedup = %.1f, want strong scaling in (30,64]", speedup)
+	}
+	if p64.CommTime == 0 {
+		t.Error("multi-node run must model communication")
+	}
+	if p1.CommTime != 0 {
+		t.Error("single node must not communicate")
+	}
+}
+
+func TestModelPerfValidation(t *testing.T) {
+	m := machine.NaCL()
+	if _, err := ModelPerf(m, 0, 1, 1); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := ModelPerf(m, 2, 64, 1); err == nil {
+		t.Error("ranks>rows must fail")
+	}
+}
+
+func TestBlockRangeOwnerConsistency(t *testing.T) {
+	f := func(rows16, p8 uint8) bool {
+		rows := int(rows16) + 1
+		p := int(p8)%rows + 1
+		covered := 0
+		for r := 0; r < p; r++ {
+			lo, hi := blockRange(r, rows, p)
+			covered += hi - lo
+			for i := lo; i < hi; i++ {
+				if ownerOf(i, rows, p) != r {
+					return false
+				}
+			}
+		}
+		return covered == rows
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,54 @@
+package ptg
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for debugging: tasks
+// grouped into per-node clusters, cross-node dependencies drawn bold with
+// their payload sizes. Intended for small graphs (a few hundred tasks);
+// use ComputeStats for anything larger.
+func (g *Graph) WriteDOT(w io.Writer, title string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", title); err != nil {
+		return err
+	}
+	byNode := make(map[int32][]int32)
+	for i := range g.Tasks {
+		byNode[g.Tasks[i].Node] = append(byNode[g.Tasks[i].Node], int32(i))
+	}
+	nodes := make([]int32, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		fmt.Fprintf(w, "  subgraph cluster_node%d {\n    label=\"node %d\";\n", n, n)
+		for _, i := range byNode[n] {
+			t := &g.Tasks[i]
+			color := "white"
+			switch t.Kind {
+			case KindBoundary:
+				color = "lightsalmon"
+			case KindInit:
+				color = "lightgrey"
+			}
+			fmt.Fprintf(w, "    t%d [label=%q, style=filled, fillcolor=%s];\n", i, t.ID.String(), color)
+		}
+		fmt.Fprintln(w, "  }")
+	}
+	for i := range g.Tasks {
+		t := &g.Tasks[i]
+		for _, d := range t.Deps {
+			p := &g.Tasks[d.Producer]
+			if p.Node != t.Node {
+				fmt.Fprintf(w, "  t%d -> t%d [style=bold, color=red, label=\"%dB\"];\n", d.Producer, i, d.Bytes)
+			} else {
+				fmt.Fprintf(w, "  t%d -> t%d;\n", d.Producer, i)
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

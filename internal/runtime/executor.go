@@ -1,0 +1,368 @@
+// Package runtime is the real-execution engine of this repository's PaRSEC
+// analog: it unfolds a ptg.Graph over a set of virtual nodes, each with its
+// own private store (distributed memory), a pool of worker goroutines
+// (compute cores) and one dedicated communication goroutine (the paper's
+// "one thread dedicated for communication"). All inter-node dependencies
+// travel as byte-serialized messages; nodes never share data structures, so
+// a run is faithful to an MPI execution up to transport timing.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"castencil/internal/ptg"
+	"castencil/internal/trace"
+)
+
+// Message is one inter-node transfer: the payload of a cross-node
+// dependency, addressed by consumer task and dependency index.
+type Message struct {
+	Src, Dst int32
+	Task     int32 // consumer task index
+	Dep      int32 // index into the consumer's Deps
+	Data     []byte
+}
+
+// Interceptor lets tests and examples wrap message delivery (to inject
+// delays, reordering, duplication checks...). It runs on the sender's
+// communication goroutine; it must eventually call deliver exactly once for
+// the message, possibly from another goroutine.
+type Interceptor func(m Message, deliver func(Message))
+
+// Options configures an execution.
+type Options struct {
+	// Workers is the number of compute goroutines per node (default 1).
+	Workers int
+	// Policy selects the ready-queue discipline (default FIFO).
+	Policy Policy
+	// Trace, when non-nil, receives one event per executed task.
+	Trace *trace.Trace
+	// Intercept, when non-nil, wraps every inter-node message.
+	Intercept Interceptor
+}
+
+// Result summarizes a completed execution.
+type Result struct {
+	Elapsed   time.Duration
+	Stores    []*Store // per-node stores, for gathering output data
+	Messages  int      // inter-node messages sent
+	BytesSent int
+	Completed int
+	// NodeTasks and NodeBusy report per-node executed-task counts and
+	// summed task execution time (across that node's workers).
+	NodeTasks []int
+	NodeBusy  []time.Duration
+}
+
+type sendReq struct {
+	task int32 // consumer task
+	dep  int32
+}
+
+type execNode struct {
+	id    int32
+	store *Store
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue readyQueue
+	sendQ chan sendReq
+	inbox chan Message
+}
+
+type executor struct {
+	g       *ptg.Graph
+	opts    Options
+	nodes   []*execNode
+	pending []int32 // remaining dep count per task (atomic)
+	t0      time.Time
+
+	nodeTasks []atomic.Int64
+	nodeBusy  []atomic.Int64 // nanoseconds
+
+	completed atomic.Int64
+	total     int64
+	done      atomic.Bool
+	finished  chan struct{}
+
+	messages  atomic.Int64
+	bytesSent atomic.Int64
+
+	errMu  sync.Mutex
+	runErr error
+}
+
+type env struct {
+	node  int32
+	store *Store
+}
+
+func (e env) NodeID() int    { return int(e.node) }
+func (e env) Put(k, v any)   { e.store.Put(k, v) }
+func (e env) Take(k any) any { return e.store.Take(k) }
+func (e env) Get(k any) any  { return e.store.Get(k) }
+
+// Run executes the graph to completion and returns the result. It is an
+// error if the graph deadlocks due to a malformed dependency structure
+// (detected as global quiescence before completion) or if a task panics.
+func Run(g *ptg.Graph, opts Options) (*Result, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	ex := &executor{
+		g:         g,
+		opts:      opts,
+		pending:   make([]int32, len(g.Tasks)),
+		total:     int64(len(g.Tasks)),
+		finished:  make(chan struct{}),
+		nodeTasks: make([]atomic.Int64, g.NumNodes),
+		nodeBusy:  make([]atomic.Int64, g.NumNodes),
+	}
+
+	// Size inboxes and send queues so channel operations never block
+	// indefinitely: one slot per cross-node dependency.
+	inboxNeed := make([]int, g.NumNodes)
+	sendNeed := make([]int, g.NumNodes)
+	for i := range g.Tasks {
+		t := &g.Tasks[i]
+		ex.pending[i] = int32(len(t.Deps))
+		for _, d := range t.Deps {
+			p := &g.Tasks[d.Producer]
+			if p.Node != t.Node {
+				inboxNeed[t.Node]++
+				sendNeed[p.Node]++
+			}
+		}
+	}
+	ex.nodes = make([]*execNode, g.NumNodes)
+	for n := 0; n < g.NumNodes; n++ {
+		nd := &execNode{
+			id:    int32(n),
+			store: NewStore(),
+			queue: newReadyQueue(opts.Policy),
+			sendQ: make(chan sendReq, sendNeed[n]+1),
+			inbox: make(chan Message, inboxNeed[n]+1),
+		}
+		nd.cond = sync.NewCond(&nd.mu)
+		ex.nodes[n] = nd
+	}
+
+	if ex.total == 0 {
+		return &Result{Stores: ex.stores()}, nil
+	}
+
+	ex.t0 = time.Now()
+
+	var wg sync.WaitGroup
+	for _, nd := range ex.nodes {
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go ex.worker(nd, int32(w), &wg)
+		}
+		wg.Add(1)
+		go ex.comm(nd, &wg)
+	}
+
+	// Seed the roots.
+	for _, r := range g.Roots() {
+		ex.enqueue(r)
+	}
+
+	<-ex.finished
+	elapsed := time.Since(ex.t0)
+	wg.Wait()
+
+	ex.errMu.Lock()
+	err := ex.runErr
+	ex.errMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Elapsed:   elapsed,
+		Stores:    ex.stores(),
+		Messages:  int(ex.messages.Load()),
+		BytesSent: int(ex.bytesSent.Load()),
+		Completed: int(ex.completed.Load()),
+		NodeTasks: make([]int, g.NumNodes),
+		NodeBusy:  make([]time.Duration, g.NumNodes),
+	}
+	for n := 0; n < g.NumNodes; n++ {
+		res.NodeTasks[n] = int(ex.nodeTasks[n].Load())
+		res.NodeBusy[n] = time.Duration(ex.nodeBusy[n].Load())
+	}
+	return res, nil
+}
+
+func (ex *executor) stores() []*Store {
+	out := make([]*Store, len(ex.nodes))
+	for i, nd := range ex.nodes {
+		out[i] = nd.store
+	}
+	return out
+}
+
+func (ex *executor) fail(err error) {
+	ex.errMu.Lock()
+	if ex.runErr == nil {
+		ex.runErr = err
+	}
+	ex.errMu.Unlock()
+	ex.finish()
+}
+
+// finish marks the execution complete and wakes everything up.
+func (ex *executor) finish() {
+	if ex.done.CompareAndSwap(false, true) {
+		close(ex.finished)
+		for _, nd := range ex.nodes {
+			nd.mu.Lock()
+			nd.cond.Broadcast()
+			nd.mu.Unlock()
+		}
+	}
+}
+
+// enqueue makes a task ready on its owning node.
+func (ex *executor) enqueue(idx int32) {
+	t := &ex.g.Tasks[idx]
+	nd := ex.nodes[t.Node]
+	nd.mu.Lock()
+	nd.queue.push(idx, t.Priority)
+	nd.cond.Signal()
+	nd.mu.Unlock()
+}
+
+// satisfy decrements a task's pending count and enqueues it at zero.
+func (ex *executor) satisfy(idx int32) {
+	if atomic.AddInt32(&ex.pending[idx], -1) == 0 {
+		ex.enqueue(idx)
+	}
+}
+
+func (ex *executor) worker(nd *execNode, core int32, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		nd.mu.Lock()
+		for nd.queue.size() == 0 && !ex.done.Load() {
+			nd.cond.Wait()
+		}
+		idx, ok := nd.queue.pop()
+		nd.mu.Unlock()
+		if !ok {
+			if ex.done.Load() {
+				return
+			}
+			continue
+		}
+		ex.runTask(nd, core, idx)
+	}
+}
+
+func (ex *executor) runTask(nd *execNode, core int32, idx int32) {
+	defer func() {
+		if r := recover(); r != nil {
+			ex.fail(fmt.Errorf("runtime: task %v panicked: %v", ex.g.Tasks[idx].ID, r))
+		}
+	}()
+	t := &ex.g.Tasks[idx]
+	start := time.Since(ex.t0)
+	if t.Run != nil {
+		t.Run(env{node: nd.id, store: nd.store})
+	}
+	end := time.Since(ex.t0)
+	ex.nodeTasks[nd.id].Add(1)
+	ex.nodeBusy[nd.id].Add(int64(end - start))
+	if ex.opts.Trace != nil {
+		ex.opts.Trace.Record(trace.Event{
+			ID: t.ID, Kind: t.Kind, Node: nd.id, Core: core,
+			Start: start, End: end,
+		})
+	}
+
+	// Release successors: local deps are satisfied directly, cross-node
+	// deps are handed to the communication goroutine.
+	for _, sIdx := range t.Succs {
+		s := &ex.g.Tasks[sIdx]
+		for dIdx := range s.Deps {
+			if s.Deps[dIdx].Producer != idx {
+				continue
+			}
+			if s.Node == t.Node {
+				ex.satisfy(sIdx)
+			} else {
+				nd.sendQ <- sendReq{task: sIdx, dep: int32(dIdx)}
+			}
+		}
+	}
+
+	if ex.completed.Add(1) == ex.total {
+		ex.finish()
+	}
+}
+
+// comm is the per-node communication goroutine: it serializes outgoing
+// payloads (Pack) and deposits incoming ones (Unpack), mirroring PaRSEC's
+// dedicated communication thread.
+func (ex *executor) comm(nd *execNode, wg *sync.WaitGroup) {
+	defer wg.Done()
+	e := env{node: nd.id, store: nd.store}
+	for {
+		select {
+		case req := <-nd.sendQ:
+			ex.send(e, nd, req)
+		case m := <-nd.inbox:
+			ex.receive(e, m)
+		case <-ex.finished:
+			// Drain anything already queued, then exit.
+			for {
+				select {
+				case req := <-nd.sendQ:
+					_ = req
+				case m := <-nd.inbox:
+					_ = m
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (ex *executor) send(e env, nd *execNode, req sendReq) {
+	defer func() {
+		if r := recover(); r != nil {
+			ex.fail(fmt.Errorf("runtime: pack for %v panicked: %v", ex.g.Tasks[req.task].ID, r))
+		}
+	}()
+	consumer := &ex.g.Tasks[req.task]
+	dep := &consumer.Deps[req.dep]
+	var data []byte
+	if dep.Pack != nil {
+		data = dep.Pack(e)
+	}
+	m := Message{Src: nd.id, Dst: consumer.Node, Task: req.task, Dep: req.dep, Data: data}
+	ex.messages.Add(1)
+	ex.bytesSent.Add(int64(len(data)))
+	deliver := func(m Message) { ex.nodes[m.Dst].inbox <- m }
+	if ex.opts.Intercept != nil {
+		ex.opts.Intercept(m, deliver)
+	} else {
+		deliver(m)
+	}
+}
+
+func (ex *executor) receive(e env, m Message) {
+	defer func() {
+		if r := recover(); r != nil {
+			ex.fail(fmt.Errorf("runtime: unpack for %v panicked: %v", ex.g.Tasks[m.Task].ID, r))
+		}
+	}()
+	dep := &ex.g.Tasks[m.Task].Deps[m.Dep]
+	if dep.Unpack != nil {
+		dep.Unpack(e, m.Data)
+	}
+	ex.satisfy(m.Task)
+}

@@ -1,0 +1,66 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Store is a node-private key/value space holding dataflow values (tile
+// states, packed halo buffers). Values are write-once: producing the same
+// key twice is a dataflow bug and panics. Take removes a value, enforcing
+// the single-consumer discipline of halo buffers.
+type Store struct {
+	mu sync.Mutex
+	m  map[any]any
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{m: make(map[any]any)} }
+
+// Put stores a value under key; the key must not already exist.
+func (s *Store) Put(key, val any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.m[key]; dup {
+		panic(fmt.Sprintf("runtime: value %v produced twice", key))
+	}
+	s.m[key] = val
+}
+
+// Take removes and returns the value under key, panicking if absent.
+func (s *Store) Take(key any) any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[key]
+	if !ok {
+		panic(fmt.Sprintf("runtime: value %v consumed before production", key))
+	}
+	delete(s.m, key)
+	return v
+}
+
+// Get returns the value under key without removing it, or nil.
+func (s *Store) Get(key any) any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[key]
+}
+
+// Len returns the number of live values (useful to assert buffer hygiene:
+// after a run only persistent tile states should remain).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Keys returns a snapshot of the stored keys.
+func (s *Store) Keys() []any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]any, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStorePutTakeGet(t *testing.T) {
+	s := NewStore()
+	s.Put("k", 7)
+	if got := s.Get("k"); got != 7 {
+		t.Errorf("Get = %v", got)
+	}
+	if got := s.Take("k"); got != 7 {
+		t.Errorf("Take = %v", got)
+	}
+	if got := s.Get("k"); got != nil {
+		t.Errorf("Get after Take = %v, want nil", got)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestStorePutDuplicatePanics(t *testing.T) {
+	s := NewStore()
+	s.Put("k", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Put must panic")
+		}
+	}()
+	s.Put("k", 2)
+}
+
+func TestStoreTakeMissingPanics(t *testing.T) {
+	s := NewStore()
+	defer func() {
+		if recover() == nil {
+			t.Error("Take of missing key must panic")
+		}
+	}()
+	s.Take("nope")
+}
+
+func TestStoreConcurrentDisjointKeys(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := [2]int{w, i}
+				s.Put(k, i)
+				if s.Take(k) != i {
+					t.Error("value mismatch")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 0 {
+		t.Errorf("leftover keys: %v", s.Keys())
+	}
+}
+
+func TestStoreKeys(t *testing.T) {
+	s := NewStore()
+	s.Put("a", 1)
+	s.Put("b", 2)
+	if got := len(s.Keys()); got != 2 {
+		t.Errorf("Keys len = %d", got)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FIFO.String() != "fifo" || LIFO.String() != "lifo" || PriorityOrder.String() != "priority" {
+		t.Error("policy names wrong")
+	}
+	if Policy(9).String() != "unknown" {
+		t.Error("unknown policy name")
+	}
+}
+
+func TestQueues(t *testing.T) {
+	f := newReadyQueue(FIFO)
+	f.push(1, 0)
+	f.push(2, 0)
+	if v, _ := f.pop(); v != 1 {
+		t.Error("fifo must pop oldest")
+	}
+	l := newReadyQueue(LIFO)
+	l.push(1, 0)
+	l.push(2, 0)
+	if v, _ := l.pop(); v != 2 {
+		t.Error("lifo must pop newest")
+	}
+	p := newReadyQueue(PriorityOrder)
+	p.push(1, 5)
+	p.push(2, 9)
+	p.push(3, 9)
+	if v, _ := p.pop(); v != 2 {
+		t.Error("priority must pop highest, FIFO among ties")
+	}
+	if v, _ := p.pop(); v != 3 {
+		t.Error("tie must go to earlier push")
+	}
+	if v, _ := p.pop(); v != 1 {
+		t.Error("lowest priority last")
+	}
+	if _, ok := p.pop(); ok {
+		t.Error("empty pop must report false")
+	}
+	if f.size() != 1 { // 2 still queued
+		t.Errorf("fifo size = %d", f.size())
+	}
+}

@@ -1,0 +1,100 @@
+package stencil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"castencil/internal/grid"
+)
+
+func TestApply9SinglePoint(t *testing.T) {
+	src := grid.NewTile(1, 1, 1)
+	dst := grid.NewTile(1, 1, 1)
+	vals := map[[2]int]float64{
+		{0, 0}: 1, {-1, 0}: 2, {1, 0}: 3, {0, -1}: 4, {0, 1}: 5,
+		{-1, -1}: 6, {-1, 1}: 7, {1, -1}: 8, {1, 1}: 9,
+	}
+	for k, v := range vals {
+		src.Set(k[0], k[1], v)
+	}
+	w := Weights9{C: 1, N: 10, S: 100, W: 1e3, E: 1e4, NW: 1e5, NE: 1e6, SW: 1e7, SE: 1e8}
+	Apply9(w, dst, src, Interior(src))
+	want := 1 + 10*2 + 100*3 + 1e3*4 + 1e4*5 + 1e5*6 + 1e6*7 + 1e7*8 + 1e8*9
+	if got := dst.At(0, 0); got != want {
+		t.Errorf("9-point update = %v, want %v", got, want)
+	}
+}
+
+func TestJacobi9PreservesConstant(t *testing.T) {
+	w := Jacobi9()
+	src := grid.NewTile(4, 4, 1)
+	dst := grid.NewTile(4, 4, 1)
+	for r := -1; r <= 4; r++ {
+		for c := -1; c <= 4; c++ {
+			src.Set(r, c, 2.5)
+		}
+	}
+	Apply9(w, dst, src, Interior(src))
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if math.Abs(dst.At(r, c)-2.5) > 1e-15 {
+				t.Fatalf("(%d,%d) = %v, want 2.5", r, c, dst.At(r, c))
+			}
+		}
+	}
+}
+
+func TestApplyVarMatchesConstantApply(t *testing.T) {
+	// A variable-coefficient field where every point holds the same
+	// weights must reproduce the constant-coefficient kernel bitwise.
+	rng := rand.New(rand.NewSource(11))
+	w := Weights{C: 0.2, N: 0.1, S: 0.3, W: 0.25, E: 0.15}
+	src := grid.NewTile(6, 5, 1)
+	for r := -1; r <= 6; r++ {
+		for c := -1; c <= 5; c++ {
+			src.Set(r, c, rng.Float64())
+		}
+	}
+	cf := NewCoeff(6, 5)
+	cf.Fill(func(int, int) Weights { return w })
+
+	want := grid.NewTile(6, 5, 1)
+	got := grid.NewTile(6, 5, 1)
+	Step(w, want, src)
+	ApplyVar(cf, got, src)
+	if !grid.InteriorEqual(want, got) {
+		t.Error("variable-coefficient kernel diverges from constant kernel")
+	}
+}
+
+func TestApplyVarSpatialVariation(t *testing.T) {
+	// Coefficients that zero out everything except the center must copy
+	// the tile; a field that scales by position must scale accordingly.
+	src := grid.NewTile(3, 3, 1)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			src.Set(r, c, 1)
+		}
+	}
+	cf := NewCoeff(3, 3)
+	cf.Fill(func(r, c int) Weights { return Weights{C: float64(r*3 + c)} })
+	dst := grid.NewTile(3, 3, 1)
+	ApplyVar(cf, dst, src)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			if dst.At(r, c) != float64(r*3+c) {
+				t.Fatalf("(%d,%d) = %v, want %d", r, c, dst.At(r, c), r*3+c)
+			}
+		}
+	}
+}
+
+func TestApplyVarPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ApplyVar with mismatched field should panic")
+		}
+	}()
+	ApplyVar(NewCoeff(2, 2), grid.NewTile(3, 3, 1), grid.NewTile(3, 3, 1))
+}

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("Trace Event
+// Format", complete events): viewable in chrome://tracing or Perfetto.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TsUS  float64        `json:"ts"`
+	DurUS float64        `json:"dur"`
+	PID   int32          `json:"pid"` // node
+	TID   int32          `json:"tid"` // core
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome serializes the trace as a Chrome/Perfetto trace-event JSON
+// array: one complete event per task, nodes as processes, cores as
+// threads. This is the graphical counterpart of the text Gantt (Fig. 10).
+func (t *Trace) WriteChrome(w io.Writer) error {
+	events := t.Events()
+	out := make([]chromeEvent, 0, len(events))
+	for _, e := range events {
+		out = append(out, chromeEvent{
+			Name:  e.ID.String(),
+			Cat:   e.Kind.String(),
+			Phase: "X",
+			TsUS:  float64(e.Start.Nanoseconds()) / 1e3,
+			DurUS: float64(e.Duration().Nanoseconds()) / 1e3,
+			PID:   e.Node,
+			TID:   e.Core,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"castencil/internal/ptg"
+)
+
+// csvHeader is the column layout of the on-disk trace format.
+var csvHeader = []string{"class", "i", "j", "k", "kind", "node", "core", "start_ns", "end_ns"}
+
+// WriteCSV serializes the trace (sorted by start time) for later rendering
+// with cmd/traceview.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, e := range t.Events() {
+		rec := []string{
+			e.ID.Class,
+			strconv.Itoa(e.ID.I), strconv.Itoa(e.ID.J), strconv.Itoa(e.ID.K),
+			strconv.Itoa(int(e.Kind)),
+			strconv.Itoa(int(e.Node)), strconv.Itoa(int(e.Core)),
+			strconv.FormatInt(int64(e.Start), 10), strconv.FormatInt(int64(e.End), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads a trace previously written with WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	if len(rows[0]) != len(csvHeader) || rows[0][0] != "class" {
+		return nil, fmt.Errorf("trace: unrecognized header %v", rows[0])
+	}
+	t := New()
+	for ln, rec := range rows[1:] {
+		ints := make([]int64, 8)
+		for i := 1; i < 9; i++ {
+			v, err := strconv.ParseInt(rec[i], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d column %s: %v", ln+2, csvHeader[i], err)
+			}
+			ints[i-1] = v
+		}
+		t.Record(Event{
+			ID:    ptg.TaskID{Class: rec[0], I: int(ints[0]), J: int(ints[1]), K: int(ints[2])},
+			Kind:  ptg.Kind(ints[3]),
+			Node:  int32(ints[4]),
+			Core:  int32(ints[5]),
+			Start: timeDuration(ints[6]),
+			End:   timeDuration(ints[7]),
+		})
+	}
+	return t, nil
+}
+
+// MaxCore returns the largest core index seen plus one (the implied core
+// count for rendering), and the set of node ids present.
+func (t *Trace) MaxCore() (cores int, nodes []int32) {
+	seen := map[int32]bool{}
+	for _, e := range t.Events() {
+		if int(e.Core) >= cores {
+			cores = int(e.Core) + 1
+		}
+		if !seen[e.Node] {
+			seen[e.Node] = true
+			nodes = append(nodes, e.Node)
+		}
+	}
+	return cores, nodes
+}

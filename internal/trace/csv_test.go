@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"castencil/internal/ptg"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := New()
+	tr.Record(ev(0, 1, ptg.KindBoundary, 3, 9))
+	tr.Record(ev(2, 0, ptg.KindInterior, 0, 4))
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := tr.Events(), got.Events()
+	if len(a) != len(b) {
+		t.Fatalf("len %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("event %d: %+v != %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input must fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Error("wrong header must fail")
+	}
+	bad := "class,i,j,k,kind,node,core,start_ns,end_ns\nst,x,0,0,1,0,0,0,1\n"
+	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+		t.Error("non-numeric field must fail")
+	}
+}
+
+func TestMaxCore(t *testing.T) {
+	tr := New()
+	tr.Record(ev(0, 3, ptg.KindInterior, 0, 1))
+	tr.Record(ev(2, 1, ptg.KindInterior, 0, 1))
+	cores, nodes := tr.MaxCore()
+	if cores != 4 {
+		t.Errorf("cores = %d, want 4", cores)
+	}
+	if len(nodes) != 2 {
+		t.Errorf("nodes = %v", nodes)
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := New()
+	tr.Record(ev(0, 1, ptg.KindBoundary, 3, 9))
+	tr.Record(ev(1, 0, ptg.KindInterior, 0, 4))
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	first := events[0] // sorted by start: the interior one
+	if first["cat"] != "interior" || first["ph"] != "X" {
+		t.Errorf("first event = %v", first)
+	}
+	if first["dur"].(float64) != 4000 { // 4ms in us
+		t.Errorf("dur = %v", first["dur"])
+	}
+	if first["pid"].(float64) != 1 {
+		t.Errorf("pid = %v", first["pid"])
+	}
+}

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"castencil/internal/ptg"
+)
+
+func ev(node, core int32, kind ptg.Kind, startMS, endMS int) Event {
+	return Event{
+		ID:    ptg.TaskID{Class: "t", I: int(node), J: int(core), K: startMS},
+		Kind:  kind,
+		Node:  node,
+		Core:  core,
+		Start: time.Duration(startMS) * time.Millisecond,
+		End:   time.Duration(endMS) * time.Millisecond,
+	}
+}
+
+func TestRecordAndSortedEvents(t *testing.T) {
+	tr := New()
+	tr.Record(ev(0, 1, ptg.KindInterior, 10, 20))
+	tr.Record(ev(0, 0, ptg.KindBoundary, 0, 5))
+	tr.Record(ev(1, 0, ptg.KindInterior, 5, 8))
+	got := tr.Events()
+	if len(got) != 3 || tr.Len() != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0].Start != 0 || got[2].Start != 10*time.Millisecond {
+		t.Errorf("events not sorted: %v", got)
+	}
+	if tr.Makespan() != 20*time.Millisecond {
+		t.Errorf("makespan = %v", tr.Makespan())
+	}
+}
+
+func TestRecordConcurrent(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Record(ev(int32(w), 0, ptg.KindInterior, i, i+1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Errorf("concurrent record lost events: %d", tr.Len())
+	}
+}
+
+func TestNodeFilter(t *testing.T) {
+	tr := New()
+	tr.Record(ev(0, 0, ptg.KindInterior, 0, 1))
+	tr.Record(ev(1, 0, ptg.KindInterior, 0, 1))
+	tr.Record(ev(1, 1, ptg.KindBoundary, 1, 2))
+	if got := tr.Node(1); len(got) != 2 {
+		t.Errorf("node 1 events = %d, want 2", len(got))
+	}
+	if got := tr.Node(5); len(got) != 0 {
+		t.Errorf("node 5 events = %d, want 0", len(got))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		ev(0, 0, ptg.KindBoundary, 0, 10),
+		ev(0, 1, ptg.KindInterior, 0, 10),
+		ev(0, 0, ptg.KindInterior, 10, 20),
+		ev(0, 1, ptg.KindInterior, 10, 14),
+	}
+	s := Summarize(events, 2)
+	if s.Tasks != 4 {
+		t.Errorf("tasks = %d", s.Tasks)
+	}
+	if s.Span != 20*time.Millisecond {
+		t.Errorf("span = %v", s.Span)
+	}
+	if s.Busy != 34*time.Millisecond {
+		t.Errorf("busy = %v", s.Busy)
+	}
+	if want := 34.0 / 40.0; s.Occupancy < want-1e-9 || s.Occupancy > want+1e-9 {
+		t.Errorf("occupancy = %v, want %v", s.Occupancy, want)
+	}
+	if s.CountByKind["interior"] != 3 || s.CountByKind["boundary"] != 1 {
+		t.Errorf("counts = %v", s.CountByKind)
+	}
+	// Interior durations: 10, 10, 4 -> sorted 4,10,10 -> median index 1 = 10.
+	if s.MedianByKind["interior"] != 10*time.Millisecond {
+		t.Errorf("interior median = %v", s.MedianByKind["interior"])
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil, 4)
+	if s.Tasks != 0 || s.Occupancy != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	events := []Event{
+		ev(0, 0, ptg.KindBoundary, 0, 50),
+		ev(0, 1, ptg.KindInterior, 25, 100),
+	}
+	out := Gantt(events, 2, GanttConfig{Width: 20})
+	if !strings.Contains(out, "core  0") || !strings.Contains(out, "core  1") {
+		t.Fatalf("missing core rows:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[1], "B") {
+		t.Errorf("core 0 row missing boundary glyph: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], ".") {
+		t.Errorf("core 1 row missing interior glyph: %q", lines[2])
+	}
+	// Core 0 is idle in the second half: its row must end with spaces.
+	row0 := lines[1][strings.Index(lines[1], "|")+1:]
+	if !strings.HasSuffix(strings.TrimSuffix(row0, "|"), "   ") {
+		t.Errorf("core 0 should be idle at the end: %q", row0)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	if out := Gantt(nil, 2, GanttConfig{}); !strings.Contains(out, "no events") {
+		t.Errorf("empty gantt = %q", out)
+	}
+}
+
+func TestGanttIgnoresOutOfRangeCores(t *testing.T) {
+	events := []Event{ev(0, 7, ptg.KindInterior, 0, 1)}
+	out := Gantt(events, 2, GanttConfig{Width: 10})
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "core") && strings.Contains(line, ".") {
+			t.Errorf("out-of-range core must be skipped: %q", line)
+		}
+	}
+}
