@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-1 gate (see ROADMAP.md).
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short benchmark pass over the hot-path microbenchmarks: exercises the
+# zero-alloc and fast-kernel paths without paper-scale runtimes.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'MsgRoundTrip|Kernel|PackBytes|UnpackBytes' \
+		-benchtime 100x -benchmem \
+		./internal/core/ ./internal/stencil/ ./internal/grid/
+
+# Full measurement run behind BENCH_1.json.
+bench:
+	$(GO) test -run '^$$' -bench 'MsgRoundTrip|ExecutorReal' -benchmem ./internal/core/
+	$(GO) test -run '^$$' -bench 'Kernel' -benchmem ./internal/stencil/
+	$(GO) test -run '^$$' -bench 'PackBytes|UnpackBytes' -benchmem ./internal/grid/
+
+check: vet test race bench-smoke

@@ -3,6 +3,7 @@ package core
 import (
 	"castencil/internal/grid"
 	"castencil/internal/ptg"
+	"castencil/internal/runtime"
 	"castencil/internal/stencil"
 )
 
@@ -17,7 +18,23 @@ type tileInfo struct {
 	// deep ghost region and phase-based communication.
 	boundary bool
 	halo     int
+
+	// Store slots of the zero-copy fast path, reserved at build time when
+	// the graph carries bodies; base -1 selects the keyed fallback.
+	// stateSlot holds the tile's *tileState; sendSlot[d]/recvSlot[d] are
+	// the slot ranges holding packed halo payloads flowing toward/arriving
+	// from direction d, indexed round-robin by step or phase (see slotOf).
+	// The range depth bounds the number of simultaneously live buffers of
+	// the flow, which follows from how far the producer can run ahead of
+	// the consumer (see slotDepth).
+	stateSlot int32
+	sendSlot  [grid.NumDirs]slotRange
+	recvSlot  [grid.NumDirs]slotRange
 }
+
+// slotRange is a run of depth consecutive buffer slots cycled round-robin by
+// one halo flow.
+type slotRange struct{ base, depth int32 }
 
 type builder struct {
 	v    Variant
@@ -51,11 +68,19 @@ func BuildGraph(v Variant, cfg Config) (*ptg.Graph, error) {
 			if v == CA && inf.boundary {
 				inf.halo = cfg.StepSize
 			}
+			inf.stateSlot = -1
+			for d := range inf.sendSlot {
+				inf.sendSlot[d] = slotRange{base: -1}
+				inf.recvSlot[d] = slotRange{base: -1}
+			}
 			bd.info[ti][tj] = inf
 		}
 	}
 
 	gb := ptg.NewBuilder(part.Nodes())
+	if cfg.WithBodies {
+		bd.allocSlots(gb)
+	}
 	// Tasks: one chain per tile, steps 0 (init) .. Steps.
 	for ti := 0; ti < part.TR; ti++ {
 		for tj := 0; tj < part.TC; tj++ {
@@ -101,10 +126,24 @@ func BuildGraph(v Variant, cfg Config) (*ptg.Graph, error) {
 						dep.Bytes = rect.Bytes()
 						if cfg.WithBodies {
 							key := BufKey{TI: p.ti, TJ: p.tj, Step: t - 1, Dir: d.Opposite()}
+							ss, rs := int32(-1), int32(-1)
+							if p.sendSlot[d.Opposite()].base >= 0 {
+								ss = bd.slotOf(p.sendSlot[d.Opposite()], inf, t-1)
+								rs = bd.slotOf(inf.recvSlot[d], inf, t-1)
+							}
 							dep.Pack = func(e ptg.Env) []byte {
+								if se, ok := e.(ptg.SlotEnv); ok && ss >= 0 {
+									return se.TakeBufSlot(ss)
+								}
 								return EncodeFloats(e.Take(key).([]float64))
 							}
 							dep.Unpack = func(e ptg.Env, data []byte) {
+								if se, ok := e.(ptg.SlotEnv); ok && rs >= 0 {
+									// Zero-copy: the in-flight payload itself
+									// becomes the consumer-side buffer.
+									se.PutBufSlot(rs, data)
+									return
+								}
 								e.Put(key, DecodeFloats(data))
 							}
 						}
@@ -121,6 +160,99 @@ func BuildGraph(v Variant, cfg Config) (*ptg.Graph, error) {
 
 func taskID(ti, tj, t int) ptg.TaskID {
 	return ptg.TaskID{Class: "st", I: ti, J: tj, K: t}
+}
+
+// allocSlots reserves store slots for the zero-copy fast path: one general
+// slot per tile for its state, and one buffer-slot range per halo flow.
+// Same-node flows share a single range (producer deposits, consumer takes);
+// cross-node flows get a range on each side (Pack drains the producer's,
+// Unpack fills the consumer's).
+func (b *builder) allocSlots(gb *ptg.Builder) {
+	for ti := 0; ti < b.part.TR; ti++ {
+		for tj := 0; tj < b.part.TC; tj++ {
+			b.info[ti][tj].stateSlot = gb.AllocSlot(b.info[ti][tj].node)
+		}
+	}
+	alloc := func(node int32, depth int) slotRange {
+		r := slotRange{depth: int32(depth)}
+		for i := 0; i < depth; i++ {
+			if s := gb.AllocBufSlot(node); i == 0 {
+				r.base = s
+			}
+		}
+		return r
+	}
+	for ti := 0; ti < b.part.TR; ti++ {
+		for tj := 0; tj < b.part.TC; tj++ {
+			cons := b.info[ti][tj]
+			for _, d := range grid.AllDirs {
+				p := b.neighbor(cons, d)
+				if p == nil {
+					continue
+				}
+				// Every flow kind fires after iteration 0, so existence at
+				// t == 0 means the flow exists at all.
+				if _, ok := b.flow(p, d.Opposite(), 0); !ok {
+					continue
+				}
+				if !b.slottable(p, cons, d) {
+					continue
+				}
+				depth := b.slotDepth(p, cons)
+				p.sendSlot[d.Opposite()] = alloc(p.node, depth)
+				if cons.node == p.node {
+					cons.recvSlot[d] = p.sendSlot[d.Opposite()]
+				} else {
+					cons.recvSlot[d] = alloc(cons.node, depth)
+				}
+			}
+		}
+	}
+}
+
+// slotDepth bounds the number of simultaneously live buffers of the flow
+// prod -> cons, i.e. how far the producer can run ahead of the take that
+// frees a slot for reuse:
+//
+//   - Phase flows (CA, cons boundary): the producer cannot enter phase
+//     p+2 before the consumer has finished the first step of phase p+1,
+//     which consumed the phase-p payload. Two slots.
+//   - Every-step flows from an interior (or Base) producer: the reverse
+//     flow from the consumer reaches the producer the next step, so the
+//     producer runs at most two steps ahead. Two slots.
+//   - Every-step flows from a CA boundary producer: flows into a boundary
+//     tile are phase-based, so nothing throttles the producer within a
+//     phase — it can run a full phase (s productions) past a stalled
+//     consumer, on top of the one unconsumed payload from the previous
+//     phase boundary. s+1 slots.
+func (b *builder) slotDepth(prod, cons *tileInfo) int {
+	if b.v == CA && !cons.boundary && prod.boundary {
+		return b.cfg.StepSize + 1
+	}
+	return 2
+}
+
+// slottable reports whether the flow prod -> cons arriving from direction d
+// may use round-robin slots. The lone exception is the CA corner flow with
+// StepSize 1 from an interior producer into a boundary tile: the producer
+// has no reverse flow from the consumer (diagonal flows into interior tiles
+// do not exist), so the take-before-reuse round-trip needs two cardinal
+// hops — t+3 — while the producer refills the slot at t+2. Those rare 1x1
+// corner payloads stay on the keyed fallback.
+func (b *builder) slottable(prod, cons *tileInfo, d grid.Dir) bool {
+	return d.Cardinal() || b.v != CA || !cons.boundary || prod.boundary ||
+		b.cfg.StepSize >= 2
+}
+
+// slotOf indexes a flow's slot range for the payload produced at iteration
+// t: phase flows (into CA boundary tiles) cycle per phase, every-step flows
+// per step.
+func (b *builder) slotOf(r slotRange, cons *tileInfo, t int) int32 {
+	k := t
+	if b.v == CA && cons.boundary {
+		k = t / b.cfg.StepSize
+	}
+	return r.base + int32(k)%r.depth
 }
 
 func (b *builder) neighbor(inf *tileInfo, d grid.Dir) *tileInfo {
@@ -285,7 +417,13 @@ func (b *builder) initBody(inf *tileInfo) func(ptg.Env) {
 		stencil.FillBoundary(cur, inf.r0, inf.c0, cfg.N, cfg.Boundary)
 		stencil.FillBoundary(next, inf.r0, inf.c0, cfg.N, cfg.Boundary)
 		st := &tileState{cur: cur, next: next, r0: inf.r0, c0: inf.c0}
+		// The keyed entry stays authoritative for out-of-graph readers
+		// (Gather, hygiene tests); the slot gives compute tasks lock-free
+		// access on the hot path.
 		e.Put(TileKey{TI: inf.ti, TJ: inf.tj}, st)
+		if se, ok := e.(ptg.SlotEnv); ok && inf.stateSlot >= 0 {
+			se.PutSlot(inf.stateSlot, st)
+		}
 		b.produce(e, st, inf, 0)
 	}
 }
@@ -302,7 +440,12 @@ func (b *builder) computeBody(inf *tileInfo, t int) func(ptg.Env) {
 		rect = grid.Rect{R0: 0, C0: 0, H: inf.rows, W: inf.cols}
 	}
 	return func(e ptg.Env) {
-		st := e.Get(TileKey{TI: inf.ti, TJ: inf.tj}).(*tileState)
+		var st *tileState
+		if se, ok := e.(ptg.SlotEnv); ok && inf.stateSlot >= 0 {
+			st = se.GetSlot(inf.stateSlot).(*tileState)
+		} else {
+			st = e.Get(TileKey{TI: inf.ti, TJ: inf.tj}).(*tileState)
+		}
 		b.consume(e, st, inf, t)
 		if nine {
 			stencil.Apply9(w9, st.next, st.cur, rect)
@@ -314,20 +457,35 @@ func (b *builder) computeBody(inf *tileInfo, t int) func(ptg.Env) {
 	}
 }
 
-// produce packs and publishes every outgoing flow of iteration t.
+// produce packs and publishes every outgoing flow of iteration t. On the
+// fast path the halo is serialized straight into a pooled wire buffer
+// (Tile.PackBytes) and deposited in the flow's parity slot; the float64
+// round-trip and its allocations exist only on the keyed fallback.
 func (b *builder) produce(e ptg.Env, st *tileState, inf *tileInfo, t int) {
+	se, slotted := e.(ptg.SlotEnv)
 	for _, d := range grid.AllDirs {
 		depth, ok := b.flow(inf, d, t)
 		if !ok {
 			continue
 		}
-		buf := st.cur.Pack(st.cur.SendRect(d, depth), nil)
+		rc := st.cur.SendRect(d, depth)
+		if slotted && inf.sendSlot[d].base >= 0 {
+			cons := b.neighbor(inf, d)
+			buf := st.cur.PackBytes(rc, runtime.GetBuf(rc.Bytes()))
+			se.PutBufSlot(b.slotOf(inf.sendSlot[d], cons, t), buf)
+			continue
+		}
+		buf := st.cur.Pack(rc, nil)
 		e.Put(BufKey{TI: inf.ti, TJ: inf.tj, Step: t, Dir: d}, buf)
 	}
 }
 
-// consume takes and unpacks every incoming flow feeding iteration t.
+// consume takes and unpacks every incoming flow feeding iteration t. Fast
+// path: the wire buffer is deserialized in place into the ghost region and
+// immediately recycled into the runtime arena — steady state allocates
+// nothing.
 func (b *builder) consume(e ptg.Env, st *tileState, inf *tileInfo, t int) {
+	se, slotted := e.(ptg.SlotEnv)
 	for _, d := range grid.AllDirs {
 		p := b.neighbor(inf, d)
 		if p == nil {
@@ -337,9 +495,16 @@ func (b *builder) consume(e ptg.Env, st *tileState, inf *tileInfo, t int) {
 		if !ok {
 			continue
 		}
+		rc := st.cur.RecvRect(d, depth)
+		if slotted && inf.recvSlot[d].base >= 0 {
+			buf := se.TakeBufSlot(b.slotOf(inf.recvSlot[d], inf, t-1))
+			st.cur.UnpackBytes(rc, buf)
+			runtime.PutBuf(buf)
+			continue
+		}
 		key := BufKey{TI: p.ti, TJ: p.tj, Step: t - 1, Dir: d.Opposite()}
 		vals := e.Take(key).([]float64)
-		st.cur.Unpack(st.cur.RecvRect(d, depth), vals)
+		st.cur.Unpack(rc, vals)
 	}
 }
 

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"castencil/internal/grid"
+	"castencil/internal/runtime"
+)
+
+func randomHaloTile(rng *rand.Rand, n, halo int) *grid.Tile {
+	t := grid.NewTile(n, n, halo)
+	for r := -halo; r < n+halo; r++ {
+		row := t.Row(r, -halo, n+2*halo)
+		for c := range row {
+			row[c] = rng.Float64()
+		}
+	}
+	return t
+}
+
+// TestMessageRoundTripZeroAlloc walks one halo payload through the entire
+// steady-state fast path — pooled buffer, row-wise byte serialization,
+// producer slot, (in-process) wire, consumer slot, in-place deserialization,
+// pool return — and pins it at zero heap allocations. This is the
+// acceptance criterion replacing the old four-copy chain
+// (Pack -> EncodeFloats -> DecodeFloats -> Unpack), which allocated a slice
+// at every arrow.
+func TestMessageRoundTripZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := randomHaloTile(rng, 128, 1)
+	dst := grid.NewTile(128, 128, 1)
+	sendRc := src.SendRect(grid.North, 1)
+	recvRc := dst.RecvRect(grid.South, 1)
+	producer := runtime.NewStoreWithSlots(0, 1)
+	consumer := runtime.NewStoreWithSlots(0, 1)
+	runtime.PutBuf(runtime.GetBuf(sendRc.Bytes())) // warm the arena
+
+	hop := func() {
+		// Producer task body: pack into a pooled wire buffer, deposit.
+		buf := src.PackBytes(sendRc, runtime.GetBuf(sendRc.Bytes()))
+		producer.PutBufSlot(0, buf)
+		// Sender comm: Dep.Pack drains the slot; the payload crosses the
+		// wire unchanged; receiver comm: Dep.Unpack deposits it.
+		wire := producer.TakeBufSlot(0)
+		consumer.PutBufSlot(0, wire)
+		// Consumer task body: unpack in place, recycle.
+		got := consumer.TakeBufSlot(0)
+		dst.UnpackBytes(recvRc, got)
+		runtime.PutBuf(got)
+	}
+	if n := testing.AllocsPerRun(50, hop); n != 0 {
+		t.Errorf("steady-state message round trip: %v allocs per run, want 0", n)
+	}
+	// The payload must have arrived bitwise intact.
+	want := src.Pack(sendRc, nil)
+	gotVals := dst.Pack(recvRc, nil)
+	for i := range want {
+		if want[i] != gotVals[i] {
+			t.Fatalf("point %d: %v != %v", i, gotVals[i], want[i])
+		}
+	}
+}
+
+// BenchmarkMsgRoundTripLegacy measures the pre-fast-path four-copy chain the
+// keyed fallback still uses: float64 staging, byte encoding, byte decoding,
+// float64 unpacking — three allocations per hop.
+func BenchmarkMsgRoundTripLegacy(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := randomHaloTile(rng, 128, 1)
+	dst := grid.NewTile(128, 128, 1)
+	sendRc := src.SendRect(grid.North, 1)
+	recvRc := dst.RecvRect(grid.South, 1)
+	b.SetBytes(int64(sendRc.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vals := src.Pack(sendRc, nil)
+		wire := EncodeFloats(vals)
+		dst.Unpack(recvRc, DecodeFloats(wire))
+	}
+}
+
+// BenchmarkMsgRoundTripZeroCopy measures the slot-based fast path on the
+// same payload.
+func BenchmarkMsgRoundTripZeroCopy(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := randomHaloTile(rng, 128, 1)
+	dst := grid.NewTile(128, 128, 1)
+	sendRc := src.SendRect(grid.North, 1)
+	recvRc := dst.RecvRect(grid.South, 1)
+	producer := runtime.NewStoreWithSlots(0, 1)
+	consumer := runtime.NewStoreWithSlots(0, 1)
+	b.SetBytes(int64(sendRc.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		producer.PutBufSlot(0, src.PackBytes(sendRc, runtime.GetBuf(sendRc.Bytes())))
+		consumer.PutBufSlot(0, producer.TakeBufSlot(0))
+		buf := consumer.TakeBufSlot(0)
+		dst.UnpackBytes(recvRc, buf)
+		runtime.PutBuf(buf)
+	}
+}
+
+// BenchmarkExecutorReal runs the full concurrent engine on the base variant
+// (16 tiles over 2 nodes, 20 steps) — the end-to-end number the hot-path
+// work targets: graph build + scheduling + packing + transport + kernels.
+func BenchmarkExecutorReal(b *testing.B) {
+	cfg := Config{N: 64, TileRows: 16, P: 2, Steps: 20}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunReal(Base, cfg, runtime.Options{Workers: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecutorRealCA is the CA variant of the same experiment.
+func BenchmarkExecutorRealCA(b *testing.B) {
+	cfg := Config{N: 64, TileRows: 16, P: 2, Steps: 20, StepSize: 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunReal(CA, cfg, runtime.Options{Workers: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestFastPathStaysOnOracle re-checks the oracle on a configuration mixing
+// every flow kind the slot allocator distinguishes: CA with boundary and
+// interior tiles, a truncated final phase, and multiple workers racing on
+// the lock-free slots.
+func TestFastPathStaysOnOracle(t *testing.T) {
+	assertMatchesReference(t, CA, Config{N: 30, TileRows: 5, P: 3, Q: 2, Steps: 10, StepSize: 4}, 3)
+	assertMatchesReference(t, CA, Config{N: 24, TileRows: 4, P: 2, Steps: 7, StepSize: 1}, 2)
+}

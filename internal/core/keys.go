@@ -26,8 +26,11 @@ type tileState struct {
 	r0, c0    int // global origin
 }
 
-// EncodeFloats serializes a float64 slice for inter-node transport (shared
-// with the DTD front-end).
+// EncodeFloats serializes a float64 slice for inter-node transport. The PTG
+// fast path now serializes tiles straight to wire buffers (grid.Tile.
+// PackBytes) and never calls this; it remains the transport of the DTD
+// front-end and of the keyed fallback used by engines without slot support.
+// The wire format is identical: little-endian IEEE-754 bits, row-major.
 func EncodeFloats(vals []float64) []byte {
 	out := make([]byte, 8*len(vals))
 	for i, v := range vals {

@@ -69,8 +69,9 @@ func Gather(p *grid.Partition, stores []*runtime.Store) (*grid.Tile, error) {
 }
 
 // LeftoverBuffers counts non-tile values remaining in the stores after a
-// run; a correct dataflow consumes every halo buffer exactly once, so this
-// must be zero (used by hygiene tests).
+// run — keyed entries other than tile states plus occupied buffer slots. A
+// correct dataflow consumes every halo buffer exactly once, so this must be
+// zero (used by hygiene tests).
 func LeftoverBuffers(stores []*runtime.Store) int {
 	n := 0
 	for _, s := range stores {
@@ -79,6 +80,7 @@ func LeftoverBuffers(stores []*runtime.Store) int {
 				n++
 			}
 		}
+		n += s.LiveBufSlots()
 	}
 	return n
 }

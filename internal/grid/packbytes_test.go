@@ -1,0 +1,139 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomTile(rng *rand.Rand, rows, cols, halo int) *Tile {
+	t := NewTile(rows, cols, halo)
+	for r := -halo; r < rows+halo; r++ {
+		row := t.Row(r, -halo, cols+2*halo)
+		for c := range row {
+			row[c] = rng.NormFloat64()
+		}
+	}
+	return t
+}
+
+// TestPackBytesMatchesPack checks that the direct byte serialization
+// produces exactly the little-endian encoding of the float64 Pack payload,
+// for every edge, halo and corner rect.
+func TestPackBytesMatchesPack(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, halo := range []int{1, 3} {
+		tl := randomTile(rng, 6, 9, halo)
+		rects := []Rect{}
+		for _, d := range AllDirs {
+			depth := 1
+			if !d.Cardinal() {
+				depth = halo
+			}
+			rects = append(rects, tl.SendRect(d, depth), tl.RecvRect(d, depth))
+		}
+		rects = append(rects, Rect{R0: 0, C0: 0, H: 6, W: 9})
+		for _, rc := range rects {
+			vals := tl.Pack(rc, nil)
+			bytes := tl.PackBytes(rc, nil)
+			if len(bytes) != rc.Bytes() {
+				t.Fatalf("rect %+v: PackBytes length %d, want %d", rc, len(bytes), rc.Bytes())
+			}
+			for i, v := range vals {
+				got := math.Float64frombits(
+					uint64(bytes[i*8]) | uint64(bytes[i*8+1])<<8 | uint64(bytes[i*8+2])<<16 |
+						uint64(bytes[i*8+3])<<24 | uint64(bytes[i*8+4])<<32 | uint64(bytes[i*8+5])<<40 |
+						uint64(bytes[i*8+6])<<48 | uint64(bytes[i*8+7])<<56)
+				if math.Float64bits(got) != math.Float64bits(v) {
+					t.Fatalf("rect %+v point %d: %v != %v", rc, i, got, v)
+				}
+			}
+		}
+	}
+}
+
+// TestUnpackBytesRoundTrip packs a rect from one tile and unpacks it into
+// another, expecting bitwise-identical values in the target rect.
+func TestUnpackBytesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	src := randomTile(rng, 8, 8, 2)
+	for _, d := range AllDirs {
+		depth := 2
+		sendRc := src.SendRect(d, depth)
+		buf := src.PackBytes(sendRc, nil)
+
+		dst := NewTile(8, 8, 2)
+		recvRc := dst.RecvRect(d.Opposite(), depth)
+		if recvRc.Size() != sendRc.Size() {
+			t.Fatalf("dir %v: send %+v and recv %+v sizes differ", d, sendRc, recvRc)
+		}
+		dst.UnpackBytes(recvRc, buf)
+		want := src.Pack(sendRc, nil)
+		got := dst.Pack(recvRc, nil)
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("dir %v point %d: %v != %v", d, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPackBytesReusesBuffer checks that a large-enough destination is
+// re-sliced, not reallocated — the property the buffer arena relies on.
+func TestPackBytesReusesBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	tl := randomTile(rng, 4, 4, 1)
+	rc := tl.SendRect(North, 1)
+	scratch := make([]byte, 0, 1024)
+	out := tl.PackBytes(rc, scratch)
+	if &out[0] != &scratch[:1][0] {
+		t.Error("PackBytes reallocated despite sufficient capacity")
+	}
+	if n := testing.AllocsPerRun(20, func() { tl.PackBytes(rc, scratch) }); n != 0 {
+		t.Errorf("PackBytes with scratch: %v allocs per run, want 0", n)
+	}
+	dst := NewTile(4, 4, 1)
+	if n := testing.AllocsPerRun(20, func() { dst.UnpackBytes(dst.RecvRect(South, 1), out) }); n != 0 {
+		t.Errorf("UnpackBytes: %v allocs per run, want 0", n)
+	}
+}
+
+func TestUnpackBytesLengthMismatchPanics(t *testing.T) {
+	tl := NewTile(4, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("UnpackBytes with short payload did not panic")
+		}
+	}()
+	tl.UnpackBytes(tl.RecvRect(North, 1), make([]byte, 7))
+}
+
+// BenchmarkPackBytes measures the zero-copy serializer on a 128-point edge
+// (the per-message payload of a 128x128 tile).
+func BenchmarkPackBytes(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tl := randomTile(rng, 128, 128, 1)
+	rc := tl.SendRect(North, 1)
+	buf := make([]byte, rc.Bytes())
+	b.SetBytes(int64(rc.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.PackBytes(rc, buf)
+	}
+}
+
+func BenchmarkUnpackBytes(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tl := randomTile(rng, 128, 128, 1)
+	rc := tl.SendRect(North, 1)
+	buf := tl.PackBytes(rc, nil)
+	dst := NewTile(128, 128, 1)
+	rrc := dst.RecvRect(South, 1)
+	b.SetBytes(int64(rc.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.UnpackBytes(rrc, buf)
+	}
+}

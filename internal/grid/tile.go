@@ -5,7 +5,11 @@
 // paper, and tile/process-grid arithmetic.
 package grid
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
 
 // Dir identifies one of the eight neighbors of a tile. The four cardinal
 // directions carry edge halos; the diagonals carry the corner blocks the CA
@@ -200,6 +204,50 @@ func (t *Tile) Unpack(rc Rect, src []float64) {
 	}
 	for r := 0; r < rc.H; r++ {
 		copy(t.Row(rc.R0+r, rc.C0, rc.W), src[r*rc.W:(r+1)*rc.W])
+	}
+}
+
+// PackBytes serializes the rectangle straight out of the tile's contiguous
+// storage into dst (allocated if nil or too small) as row-major
+// little-endian float64 values, and returns it. It is the zero-copy wire
+// format of inter-node halo messages: one copy from tile to payload, with no
+// intermediate []float64.
+func (t *Tile) PackBytes(rc Rect, dst []byte) []byte {
+	if !t.contains(rc) {
+		panic(fmt.Sprintf("grid: pack %v outside tile %dx%d halo %d", rc, t.Rows, t.Cols, t.Halo))
+	}
+	need := rc.Bytes()
+	if cap(dst) < need {
+		dst = make([]byte, need)
+	}
+	dst = dst[:need]
+	off := 0
+	for r := 0; r < rc.H; r++ {
+		row := t.Row(rc.R0+r, rc.C0, rc.W)
+		for _, v := range row {
+			binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(v))
+			off += 8
+		}
+	}
+	return dst
+}
+
+// UnpackBytes deposits a PackBytes payload into the rectangle of the tile,
+// the receiving half of the zero-copy message path.
+func (t *Tile) UnpackBytes(rc Rect, src []byte) {
+	if !t.contains(rc) {
+		panic(fmt.Sprintf("grid: unpack %v outside tile %dx%d halo %d", rc, t.Rows, t.Cols, t.Halo))
+	}
+	if len(src) != rc.Bytes() {
+		panic(fmt.Sprintf("grid: unpack %v needs %d bytes, got %d", rc, rc.Bytes(), len(src)))
+	}
+	off := 0
+	for r := 0; r < rc.H; r++ {
+		row := t.Row(rc.R0+r, rc.C0, rc.W)
+		for c := range row {
+			row[c] = math.Float64frombits(binary.LittleEndian.Uint64(src[off:]))
+			off += 8
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"castencil/internal/runtime"
 	"castencil/internal/stencil"
 )
 
@@ -78,10 +79,12 @@ func (c *cgComm) allReduceSum(v float64) float64 {
 	return <-c.fromZero[c.rank]
 }
 
-// scatter exchanges ghost spans of x with the neighboring ranks.
+// scatter exchanges ghost spans of x with the neighboring ranks. Send
+// buffers come from the shared arena and are recycled by the receiver, so a
+// steady-state scatter allocates nothing.
 func (c *cgComm) scatter(x []float64, lo int, ghostLo, ghostHi []float64, hi int) {
 	for _, sp := range c.sends {
-		vals := make([]float64, sp.s.hi-sp.s.lo)
+		vals := runtime.GetFloats(sp.s.hi - sp.s.lo)
 		copy(vals, x[sp.s.lo-lo:sp.s.hi-lo])
 		c.chans[sp.peer][c.rank] <- scatterMsg{Base: int64(sp.s.lo), Vals: vals}
 		c.msgs++
@@ -96,6 +99,7 @@ func (c *cgComm) scatter(x []float64, lo int, ghostLo, ghostHi []float64, hi int
 				ghostHi[col-hi] = v
 			}
 		}
+		runtime.PutFloats(m.Vals)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"castencil/internal/runtime"
 	"castencil/internal/stencil"
 )
 
@@ -193,9 +194,11 @@ func RunJacobi(n int, w stencil.Weights, init stencil.Init, bnd stencil.Boundary
 			}
 			msgs := 0
 			for it := 0; it < iters; it++ {
-				// (1) Post boundary sends.
+				// (1) Post boundary sends. Buffers come from the shared
+				// arena; the receiver recycles them after scattering, so
+				// steady-state iterations allocate nothing.
 				for _, sp := range sends {
-					vals := make([]float64, sp.s.hi-sp.s.lo)
+					vals := runtime.GetFloats(sp.s.hi - sp.s.lo)
 					copy(vals, x[sp.s.lo-lo:sp.s.hi-lo])
 					chans[sp.peer][r] <- scatterMsg{Base: int64(sp.s.lo), Vals: vals}
 					msgs++
@@ -215,6 +218,7 @@ func RunJacobi(n int, w stencil.Weights, init stencil.Init, bnd stencil.Boundary
 							ghostHi[c-hi] = v
 						}
 					}
+					runtime.PutFloats(m.Vals)
 				}
 				// (4) Boundary rows.
 				for _, rg := range []span{{lo, intLo}, {intHi, hi}} {

@@ -63,6 +63,33 @@ type Env interface {
 	Get(key any) any
 }
 
+// SlotEnv is an optional extension of Env offered by engines that support
+// precomputed key slots. When a graph's dataflow keys are static (known at
+// build time, as in the stencil graphs), the builder can reserve integer
+// slots via Builder.AllocSlot/AllocBufSlot and task bodies can exchange
+// values through direct array indexing instead of the mutex-protected key
+// map — removing per-Put/Take lock and hash traffic from the hot path.
+// Bodies must fall back to the keyed Env methods when the assertion to
+// SlotEnv fails, so graphs stay runnable on engines without slot support.
+//
+// Slot accesses carry no locking of their own: the runtime's scheduling
+// edges (ready-queue handoff, send/inbox channels, pending-counter atomics)
+// already order every producer before its consumer.
+type SlotEnv interface {
+	Env
+	// PutSlot stores a write-once value in a general slot (persistent
+	// state such as tile buffers). Reusing an occupied slot panics.
+	PutSlot(slot int32, v any)
+	// GetSlot returns a general slot's value without removing it.
+	GetSlot(slot int32) any
+	// PutBufSlot deposits a message payload in a buffer slot. Occupied
+	// slots panic (a duplicated delivery or a dataflow bug).
+	PutBufSlot(slot int32, b []byte)
+	// TakeBufSlot removes and returns a buffer slot's payload, panicking
+	// when empty (consumption before production).
+	TakeBufSlot(slot int32) []byte
+}
+
 // CostHint carries the quantities the discrete-event simulator needs to
 // price a task with the machine's kernel model. All counts are in grid
 // points.
@@ -112,7 +139,13 @@ type Task struct {
 type Graph struct {
 	NumNodes int
 	Tasks    []Task
-	index    map[TaskID]int32
+	// NodeSlots and NodeBufSlots are the per-node counts of general and
+	// buffer slots reserved at build time (nil when the graph uses keyed
+	// dataflow only). Engines with slot support size their stores from
+	// these.
+	NodeSlots    []int
+	NodeBufSlots []int
+	index        map[TaskID]int32
 }
 
 // Lookup returns the index of a task by ID.
@@ -152,6 +185,8 @@ type Builder struct {
 	numNodes int
 	tasks    []Task
 	index    map[TaskID]int32
+	slots    []int
+	bufSlots []int
 }
 
 // NewBuilder creates a builder for a graph over numNodes nodes.
@@ -174,6 +209,29 @@ func (b *Builder) AddTask(t Task) (int32, error) {
 	b.tasks = append(b.tasks, t)
 	b.index[t.ID] = idx
 	return idx, nil
+}
+
+// AllocSlot reserves a general store slot on a node and returns its index.
+// Slots let bodies bypass the keyed store for dataflow values whose keys
+// are static at build time (see SlotEnv).
+func (b *Builder) AllocSlot(node int32) int32 {
+	if b.slots == nil {
+		b.slots = make([]int, b.numNodes)
+	}
+	s := int32(b.slots[node])
+	b.slots[node]++
+	return s
+}
+
+// AllocBufSlot reserves a message-payload buffer slot on a node and returns
+// its index.
+func (b *Builder) AllocBufSlot(node int32) int32 {
+	if b.bufSlots == nil {
+		b.bufSlots = make([]int, b.numNodes)
+	}
+	s := int32(b.bufSlots[node])
+	b.bufSlots[node]++
+	return s
 }
 
 // AddDep records that consumer depends on producer. Cross-node dependencies
@@ -242,7 +300,10 @@ func (b *Builder) Build() (*Graph, error) {
 	if visited != n {
 		return nil, fmt.Errorf("ptg: graph has a dependency cycle (%d of %d tasks reachable)", visited, n)
 	}
-	g := &Graph{NumNodes: b.numNodes, Tasks: b.tasks, index: b.index}
+	g := &Graph{
+		NumNodes: b.numNodes, Tasks: b.tasks, index: b.index,
+		NodeSlots: b.slots, NodeBufSlots: b.bufSlots,
+	}
 	b.tasks = nil
 	b.index = nil
 	return g, nil

@@ -51,6 +51,12 @@ type Result struct {
 	Messages  int      // inter-node messages sent
 	BytesSent int
 	Completed int
+	// Dropped counts inter-node transfers discarded at shutdown: send
+	// requests never packed plus messages delivered or queued after the
+	// run finished. It is zero for a successful run (completion implies
+	// every message was consumed) and keeps the Messages/BytesSent
+	// accounting honest when a run fails mid-flight.
+	Dropped int
 	// NodeTasks and NodeBusy report per-node executed-task counts and
 	// summed task execution time (across that node's workers).
 	NodeTasks []int
@@ -65,6 +71,7 @@ type sendReq struct {
 type execNode struct {
 	id    int32
 	store *Store
+	env   ptg.Env // the node's environment, boxed once
 	mu    sync.Mutex
 	cond  *sync.Cond
 	queue readyQueue
@@ -89,6 +96,7 @@ type executor struct {
 
 	messages  atomic.Int64
 	bytesSent atomic.Int64
+	dropped   atomic.Int64
 
 	errMu  sync.Mutex
 	runErr error
@@ -103,6 +111,13 @@ func (e env) NodeID() int    { return int(e.node) }
 func (e env) Put(k, v any)   { e.store.Put(k, v) }
 func (e env) Take(k any) any { return e.store.Take(k) }
 func (e env) Get(k any) any  { return e.store.Get(k) }
+
+// env implements ptg.SlotEnv: slot traffic goes straight to the store's
+// preallocated arrays, skipping the keyed map's mutex and hashing.
+func (e env) PutSlot(slot int32, v any)       { e.store.PutSlot(slot, v) }
+func (e env) GetSlot(slot int32) any          { return e.store.GetSlot(slot) }
+func (e env) PutBufSlot(slot int32, b []byte) { e.store.PutBufSlot(slot, b) }
+func (e env) TakeBufSlot(slot int32) []byte   { return e.store.TakeBufSlot(slot) }
 
 // Run executes the graph to completion and returns the result. It is an
 // error if the graph deadlocks due to a malformed dependency structure
@@ -138,13 +153,21 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 	}
 	ex.nodes = make([]*execNode, g.NumNodes)
 	for n := 0; n < g.NumNodes; n++ {
+		slots, bufSlots := 0, 0
+		if g.NodeSlots != nil {
+			slots = g.NodeSlots[n]
+		}
+		if g.NodeBufSlots != nil {
+			bufSlots = g.NodeBufSlots[n]
+		}
 		nd := &execNode{
 			id:    int32(n),
-			store: NewStore(),
+			store: NewStoreWithSlots(slots, bufSlots),
 			queue: newReadyQueue(opts.Policy),
 			sendQ: make(chan sendReq, sendNeed[n]+1),
 			inbox: make(chan Message, inboxNeed[n]+1),
 		}
+		nd.env = env{node: nd.id, store: nd.store}
 		nd.cond = sync.NewCond(&nd.mu)
 		ex.nodes[n] = nd
 	}
@@ -174,24 +197,44 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 	elapsed := time.Since(ex.t0)
 	wg.Wait()
 
+	// Final sweep: workers may post send requests after their node's comm
+	// goroutine has drained and exited (queued tasks keep running after a
+	// failure). With all goroutines gone the leftovers sit in the buffered
+	// channels; count them so Dropped is exact.
+	for _, nd := range ex.nodes {
+		for drained := true; drained; {
+			select {
+			case <-nd.sendQ:
+				ex.dropped.Add(1)
+			case <-nd.inbox:
+				ex.dropped.Add(1)
+			default:
+				drained = false
+			}
+		}
+	}
+
 	ex.errMu.Lock()
 	err := ex.runErr
 	ex.errMu.Unlock()
-	if err != nil {
-		return nil, err
-	}
 	res := &Result{
 		Elapsed:   elapsed,
 		Stores:    ex.stores(),
 		Messages:  int(ex.messages.Load()),
 		BytesSent: int(ex.bytesSent.Load()),
 		Completed: int(ex.completed.Load()),
+		Dropped:   int(ex.dropped.Load()),
 		NodeTasks: make([]int, g.NumNodes),
 		NodeBusy:  make([]time.Duration, g.NumNodes),
 	}
 	for n := 0; n < g.NumNodes; n++ {
 		res.NodeTasks[n] = int(ex.nodeTasks[n].Load())
 		res.NodeBusy[n] = time.Duration(ex.nodeBusy[n].Load())
+	}
+	if err != nil {
+		// The partial result accompanies the error so callers can audit
+		// what moved (and what was dropped) in the failed run.
+		return res, err
 	}
 	return res, nil
 }
@@ -235,6 +278,22 @@ func (ex *executor) enqueue(idx int32) {
 	nd.mu.Unlock()
 }
 
+// enqueueBatch makes several tasks ready on one node under a single lock
+// acquisition — the batched successor release that keeps per-task lock
+// traffic at one queue-push critical section per completion.
+func (ex *executor) enqueueBatch(nd *execNode, tasks []int32) {
+	nd.mu.Lock()
+	for _, idx := range tasks {
+		nd.queue.push(idx, ex.g.Tasks[idx].Priority)
+	}
+	if len(tasks) == 1 {
+		nd.cond.Signal()
+	} else {
+		nd.cond.Broadcast()
+	}
+	nd.mu.Unlock()
+}
+
 // satisfy decrements a task's pending count and enqueues it at zero.
 func (ex *executor) satisfy(idx int32) {
 	if atomic.AddInt32(&ex.pending[idx], -1) == 0 {
@@ -244,6 +303,7 @@ func (ex *executor) satisfy(idx int32) {
 
 func (ex *executor) worker(nd *execNode, core int32, wg *sync.WaitGroup) {
 	defer wg.Done()
+	var ready []int32 // per-worker scratch for batched successor release
 	for {
 		nd.mu.Lock()
 		for nd.queue.size() == 0 && !ex.done.Load() {
@@ -257,11 +317,11 @@ func (ex *executor) worker(nd *execNode, core int32, wg *sync.WaitGroup) {
 			}
 			continue
 		}
-		ex.runTask(nd, core, idx)
+		ready = ex.runTask(nd, core, idx, ready[:0])
 	}
 }
 
-func (ex *executor) runTask(nd *execNode, core int32, idx int32) {
+func (ex *executor) runTask(nd *execNode, core int32, idx int32, ready []int32) []int32 {
 	defer func() {
 		if r := recover(); r != nil {
 			ex.fail(fmt.Errorf("runtime: task %v panicked: %v", ex.g.Tasks[idx].ID, r))
@@ -270,7 +330,7 @@ func (ex *executor) runTask(nd *execNode, core int32, idx int32) {
 	t := &ex.g.Tasks[idx]
 	start := time.Since(ex.t0)
 	if t.Run != nil {
-		t.Run(env{node: nd.id, store: nd.store})
+		t.Run(nd.env)
 	}
 	end := time.Since(ex.t0)
 	ex.nodeTasks[nd.id].Add(1)
@@ -282,8 +342,9 @@ func (ex *executor) runTask(nd *execNode, core int32, idx int32) {
 		})
 	}
 
-	// Release successors: local deps are satisfied directly, cross-node
-	// deps are handed to the communication goroutine.
+	// Release successors: local deps are satisfied directly (newly ready
+	// tasks batched into one queue push below), cross-node deps are handed
+	// to the communication goroutine.
 	for _, sIdx := range t.Succs {
 		s := &ex.g.Tasks[sIdx]
 		for dIdx := range s.Deps {
@@ -291,16 +352,22 @@ func (ex *executor) runTask(nd *execNode, core int32, idx int32) {
 				continue
 			}
 			if s.Node == t.Node {
-				ex.satisfy(sIdx)
+				if atomic.AddInt32(&ex.pending[sIdx], -1) == 0 {
+					ready = append(ready, sIdx)
+				}
 			} else {
 				nd.sendQ <- sendReq{task: sIdx, dep: int32(dIdx)}
 			}
 		}
 	}
+	if len(ready) > 0 {
+		ex.enqueueBatch(nd, ready)
+	}
 
 	if ex.completed.Add(1) == ex.total {
 		ex.finish()
 	}
+	return ready
 }
 
 // comm is the per-node communication goroutine: it serializes outgoing
@@ -308,7 +375,7 @@ func (ex *executor) runTask(nd *execNode, core int32, idx int32) {
 // dedicated communication thread.
 func (ex *executor) comm(nd *execNode, wg *sync.WaitGroup) {
 	defer wg.Done()
-	e := env{node: nd.id, store: nd.store}
+	e := nd.env
 	for {
 		select {
 		case req := <-nd.sendQ:
@@ -316,13 +383,15 @@ func (ex *executor) comm(nd *execNode, wg *sync.WaitGroup) {
 		case m := <-nd.inbox:
 			ex.receive(e, m)
 		case <-ex.finished:
-			// Drain anything already queued, then exit.
+			// Drain anything already queued, counting the discards: a
+			// dropped transfer is data the accounting says moved (or was
+			// about to move) but that never reached its consumer.
 			for {
 				select {
-				case req := <-nd.sendQ:
-					_ = req
-				case m := <-nd.inbox:
-					_ = m
+				case <-nd.sendQ:
+					ex.dropped.Add(1)
+				case <-nd.inbox:
+					ex.dropped.Add(1)
 				default:
 					return
 				}
@@ -331,7 +400,19 @@ func (ex *executor) comm(nd *execNode, wg *sync.WaitGroup) {
 	}
 }
 
-func (ex *executor) send(e env, nd *execNode, req sendReq) {
+// deliver enqueues a message at its destination node. Deliveries after
+// shutdown (an interceptor completing late, or any message racing the
+// drain) are counted as dropped instead of being parked forever in a dead
+// inbox.
+func (ex *executor) deliver(m Message) {
+	if ex.done.Load() {
+		ex.dropped.Add(1)
+		return
+	}
+	ex.nodes[m.Dst].inbox <- m
+}
+
+func (ex *executor) send(e ptg.Env, nd *execNode, req sendReq) {
 	defer func() {
 		if r := recover(); r != nil {
 			ex.fail(fmt.Errorf("runtime: pack for %v panicked: %v", ex.g.Tasks[req.task].ID, r))
@@ -346,15 +427,14 @@ func (ex *executor) send(e env, nd *execNode, req sendReq) {
 	m := Message{Src: nd.id, Dst: consumer.Node, Task: req.task, Dep: req.dep, Data: data}
 	ex.messages.Add(1)
 	ex.bytesSent.Add(int64(len(data)))
-	deliver := func(m Message) { ex.nodes[m.Dst].inbox <- m }
 	if ex.opts.Intercept != nil {
-		ex.opts.Intercept(m, deliver)
+		ex.opts.Intercept(m, ex.deliver)
 	} else {
-		deliver(m)
+		ex.deliver(m)
 	}
 }
 
-func (ex *executor) receive(e env, m Message) {
+func (ex *executor) receive(e ptg.Env, m Message) {
 	defer func() {
 		if r := recover(); r != nil {
 			ex.fail(fmt.Errorf("runtime: unpack for %v panicked: %v", ex.g.Tasks[m.Task].ID, r))

@@ -1,0 +1,135 @@
+package runtime
+
+import "testing"
+
+func TestSizeClasses(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{1, 0}, {63, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2},
+		{1 << poolMinBits << poolMaxClass, poolMaxClass},
+		{(1 << poolMinBits << poolMaxClass) + 1, -1},
+	}
+	for _, c := range cases {
+		if got := sizeClass(c.n); got != c.class {
+			t.Errorf("sizeClass(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+	if got := homeClass(63); got != -1 {
+		t.Errorf("homeClass(63) = %d, want -1 (below smallest class)", got)
+	}
+	if got := homeClass(64); got != 0 {
+		t.Errorf("homeClass(64) = %d, want 0", got)
+	}
+	if got := homeClass(127); got != 0 {
+		t.Errorf("homeClass(127) = %d, want 0 (round down)", got)
+	}
+	if got := homeClass(1 << 40); got != -1 {
+		t.Errorf("homeClass(1<<40) = %d, want -1 (beyond largest class)", got)
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	var p BytePool
+	a := p.Get(100)
+	if len(a) != 100 {
+		t.Fatalf("Get(100) returned len %d", len(a))
+	}
+	p.Put(a)
+	b := p.Get(80) // same class (65..128): must reuse a's backing array
+	if &a[0] != &b[0] {
+		t.Error("pool did not reuse the recycled buffer for a same-class Get")
+	}
+	if len(b) != 80 {
+		t.Errorf("reused Get(80) has len %d", len(b))
+	}
+}
+
+func TestPoolOversizedBypass(t *testing.T) {
+	var p BytePool
+	huge := 1 << poolMinBits << poolMaxClass << 1
+	a := p.Get(huge)
+	if len(a) != huge {
+		t.Fatalf("oversized Get returned len %d", len(a))
+	}
+	p.Put(a) // must be dropped, not retained
+	for c := range p.p.classes {
+		if n := len(p.p.classes[c].free); n != 0 {
+			t.Errorf("class %d retained %d oversized buffers", c, n)
+		}
+	}
+}
+
+func TestPoolSteadyStateZeroAlloc(t *testing.T) {
+	var p BytePool
+	p.Put(p.Get(3000)) // warm up the class
+	if n := testing.AllocsPerRun(50, func() { p.Put(p.Get(3000)) }); n != 0 {
+		t.Errorf("steady-state Get/Put: %v allocs per run, want 0", n)
+	}
+	var fp FloatPool
+	fp.Put(fp.Get(500))
+	if n := testing.AllocsPerRun(50, func() { fp.Put(fp.Get(500)) }); n != 0 {
+		t.Errorf("steady-state float Get/Put: %v allocs per run, want 0", n)
+	}
+}
+
+func TestStoreSlots(t *testing.T) {
+	s := NewStoreWithSlots(2, 3)
+	if got := s.GetSlot(0); got != nil {
+		t.Errorf("empty slot = %v", got)
+	}
+	s.PutSlot(0, "x")
+	if got := s.GetSlot(0).(string); got != "x" {
+		t.Errorf("GetSlot = %q", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double PutSlot did not panic")
+			}
+		}()
+		s.PutSlot(0, "y")
+	}()
+
+	buf := []byte{1, 2, 3}
+	s.PutBufSlot(1, buf)
+	if s.LiveBufSlots() != 1 {
+		t.Errorf("LiveBufSlots = %d, want 1", s.LiveBufSlots())
+	}
+	if got := s.TakeBufSlot(1); &got[0] != &buf[0] {
+		t.Error("TakeBufSlot returned a different buffer")
+	}
+	if s.LiveBufSlots() != 0 {
+		t.Errorf("LiveBufSlots after take = %d, want 0", s.LiveBufSlots())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("TakeBufSlot of empty slot did not panic")
+			}
+		}()
+		s.TakeBufSlot(1)
+	}()
+	s.PutBufSlot(2, buf)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double PutBufSlot did not panic")
+			}
+		}()
+		s.PutBufSlot(2, buf)
+	}()
+}
+
+// TestSlotRoundTripZeroAlloc pins the full slot-based message hop — pooled
+// buffer in, slot deposit, slot take, pool return — at zero allocations.
+func TestSlotRoundTripZeroAlloc(t *testing.T) {
+	s := NewStoreWithSlots(0, 1)
+	PutBuf(GetBuf(1024)) // warm the shared arena
+	f := func() {
+		b := GetBuf(1024)
+		s.PutBufSlot(0, b)
+		PutBuf(s.TakeBufSlot(0))
+	}
+	if n := testing.AllocsPerRun(50, f); n != 0 {
+		t.Errorf("slot round trip: %v allocs per run, want 0", n)
+	}
+}

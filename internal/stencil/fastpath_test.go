@@ -1,0 +1,101 @@
+package stencil
+
+import (
+	"math/rand"
+	"testing"
+
+	"castencil/internal/grid"
+)
+
+// randTile fills an interior-plus-ghost tile with signed values so the
+// bitwise comparisons exercise negative operands and uneven magnitudes.
+func randTile(rng *rand.Rand, rows, cols, halo int) *grid.Tile {
+	t := grid.NewTile(rows, cols, halo)
+	for r := -halo; r < rows+halo; r++ {
+		row := t.Row(r, -halo, cols+2*halo)
+		for c := range row {
+			row[c] = (rng.Float64() - 0.5) * 16
+		}
+	}
+	return t
+}
+
+// TestFastPathsBitwiseIdentical checks every specialized kernel against the
+// scalar reference on random tiles: identical bits, not just identical up to
+// rounding. Sizes cover the 4-way unroll tail (width % 4 != 0) and the fused
+// sweep tail (odd height).
+func TestFastPathsBitwiseIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	weights := map[string]Weights{
+		"jacobi":  Jacobi(),
+		"heat":    Heat(0.2),
+		"generic": {C: -0.3, N: 0.7, S: -0.11, W: 1.9, E: 0.05},
+		"centerless-asym": {C: 0, N: 0.6, S: -0.25, W: 0.125, E: -1.5},
+	}
+	kernels := map[string]func(Weights, *grid.Tile, *grid.Tile, grid.Rect){
+		"unrolled": applyUnrolled,
+		"fused":    applyFused,
+		"dispatch": Apply,
+	}
+	for _, dim := range [][2]int{{1, 1}, {2, 5}, {3, 4}, {5, 3}, {7, 7}, {8, 16}, {13, 9}} {
+		rows, cols := dim[0], dim[1]
+		for wname, w := range weights {
+			src := randTile(rng, rows, cols, 1)
+			rc := grid.Rect{R0: 0, C0: 0, H: rows, W: cols}
+			want := grid.NewTile(rows, cols, 1)
+			applyScalar(w, want, src, rc)
+			for kname, kern := range kernels {
+				got := grid.NewTile(rows, cols, 1)
+				kern(w, got, src, rc)
+				if !grid.InteriorEqual(got, want) {
+					t.Errorf("%dx%d %s/%s: not bitwise equal to scalar kernel", rows, cols, wname, kname)
+				}
+			}
+			if w.C == 0 {
+				got := grid.NewTile(rows, cols, 1)
+				applyJacobi(w, got, src, rc)
+				if !grid.InteriorEqual(got, want) {
+					t.Errorf("%dx%d %s/jacobi: not bitwise equal to scalar kernel", rows, cols, wname)
+				}
+			}
+		}
+	}
+}
+
+// TestFastPathsOnTrapezoidRect exercises the CA-style rect that extends into
+// the ghost region (deep halo), where row slices start at negative indices.
+func TestFastPathsOnTrapezoidRect(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const rows, cols, halo = 6, 10, 3
+	rc := grid.Rect{R0: -2, C0: -2, H: rows + 4, W: cols + 4}
+	for _, w := range []Weights{Jacobi(), {C: 0.4, N: 0.15, S: 0.15, W: 0.15, E: 0.15}} {
+		src := randTile(rng, rows, cols, halo)
+		want := grid.NewTile(rows, cols, halo)
+		applyScalar(w, want, src, rc)
+		got := grid.NewTile(rows, cols, halo)
+		Apply(w, got, src, rc)
+		for r := rc.R0; r < rc.R0+rc.H; r++ {
+			wr := want.Row(r, rc.C0, rc.W)
+			gr := got.Row(r, rc.C0, rc.W)
+			for c := range wr {
+				if wr[c] != gr[c] {
+					t.Fatalf("weights %+v: row %d col %d: %v != %v", w, r, rc.C0+c, gr[c], wr[c])
+				}
+			}
+		}
+	}
+}
+
+// TestApplyZeroAlloc pins the kernel hot path at zero heap allocations.
+func TestApplyZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := randTile(rng, 64, 64, 1)
+	dst := grid.NewTile(64, 64, 1)
+	rc := grid.Rect{R0: 0, C0: 0, H: 64, W: 64}
+	for name, w := range map[string]Weights{"jacobi": Jacobi(), "generic": Heat(0.2)} {
+		w := w
+		if n := testing.AllocsPerRun(20, func() { Apply(w, dst, src, rc) }); n != 0 {
+			t.Errorf("Apply(%s): %v allocs per run, want 0", name, n)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package stencil
+
+import (
+	"math/rand"
+	"testing"
+
+	"castencil/internal/grid"
+)
+
+// The kernel microbenchmarks compare the scalar reference against each
+// specialized path on a tile that fits in L2, so they measure instruction
+// throughput rather than memory bandwidth. points/sec = N*N / (ns/op * 1e-9).
+func benchKernel(b *testing.B, w Weights, kern func(Weights, *grid.Tile, *grid.Tile, grid.Rect)) {
+	const n = 128
+	rng := rand.New(rand.NewSource(1))
+	src := randTile(rng, n, n, 1)
+	dst := grid.NewTile(n, n, 1)
+	rc := grid.Rect{R0: 0, C0: 0, H: n, W: n}
+	b.SetBytes(int64(n * n * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kern(w, dst, src, rc)
+	}
+	b.ReportMetric(float64(n*n)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+func BenchmarkKernel(b *testing.B) {
+	generic := Heat(0.2) // C != 0: takes the generic dispatch path
+	cases := []struct {
+		name string
+		w    Weights
+		kern func(Weights, *grid.Tile, *grid.Tile, grid.Rect)
+	}{
+		{"scalar/generic", generic, applyScalar},
+		{"scalar/jacobi-weights", Jacobi(), applyScalar},
+		{"unrolled/generic", generic, applyUnrolled},
+		{"fused/generic", generic, applyFused},
+		{"jacobi", Jacobi(), applyJacobi},
+		{"dispatch/generic", generic, Apply},
+		{"dispatch/jacobi-weights", Jacobi(), Apply},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) { benchKernel(b, c.w, c.kern) })
+	}
+}
