@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench check
+.PHONY: all build vet test race bench-smoke bench bench-sched check
 
 all: check
 
@@ -23,6 +23,15 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'MsgRoundTrip|Kernel|PackBytes|UnpackBytes' \
 		-benchtime 100x -benchmem \
 		./internal/core/ ./internal/stencil/ ./internal/grid/
+
+# Scheduler comparison behind BENCH_2.json: shared queue vs work stealing
+# on the end-to-end executor and on a pure-scheduling task storm, plus the
+# bench-harness ablation table.
+bench-sched:
+	$(GO) test -run '^$$' -bench 'ExecutorReal|SchedulerThroughput' \
+		-benchtime 20x -benchmem \
+		./internal/core/ ./internal/runtime/
+	$(GO) run ./cmd/stencilbench -exp sched -quick
 
 # Full measurement run behind BENCH_1.json.
 bench:

@@ -65,12 +65,36 @@ type RealResult = core.RealResult
 // policy, tracing, message interception).
 type ExecOptions = runtime.Options
 
-// Scheduling policies of the real runtime.
+// Scheduling policies of the real runtime (queue order under the shared
+// scheduler; injection-queue order under work stealing).
 const (
 	FIFO          = runtime.FIFO
 	LIFO          = runtime.LIFO
 	PriorityOrder = runtime.PriorityOrder
 )
+
+// Sched selects the scheduler architecture of the real runtime: SharedQueue
+// (one locked per-node queue, the compatibility scheduler) or WorkStealing
+// (per-worker lock-free deques with locality-first successor placement).
+// Scheduler choice never changes numerics — only performance.
+type Sched = runtime.Sched
+
+// Scheduler architectures.
+const (
+	SharedQueue  = runtime.SharedQueue
+	WorkStealing = runtime.WorkStealing
+)
+
+// SchedNames lists the scheduler names ParseSched accepts, for flag help.
+const SchedNames = runtime.SchedNames
+
+// ParseSched maps a command-line scheduler name ("steal", "fifo", "lifo",
+// "priority", ...) to a scheduler architecture and queue policy.
+func ParseSched(name string) (Sched, Policy, error) { return runtime.ParseSched(name) }
+
+// Policy orders the shared ready queue (or the injection queue under work
+// stealing).
+type Policy = runtime.Policy
 
 // Machine is a calibrated cluster model.
 type Machine = machine.Model

@@ -28,6 +28,7 @@ func main() {
 	host := flag.Bool("host", false, "table1: run a real STREAM benchmark on this host too")
 	gantt := flag.Int("gantt", 0, "fig10: also print text Gantt charts of the given width")
 	steps := flag.Int("steps", 0, "override iteration count")
+	sched := flag.String("sched", "", "sched experiment: restrict the real-runtime table to one scheduler (steal, fifo, lifo, priority; empty = all)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the experiments to this file")
 	flag.Parse()
@@ -68,6 +69,7 @@ func main() {
 	if *steps > 0 {
 		p.Steps = *steps
 	}
+	p.Sched = *sched
 
 	want := func(id string) bool { return *exp == "all" || *exp == id }
 	ran := 0

@@ -34,8 +34,9 @@ func main() {
 	stepSize := flag.Int("stepsize", 15, "CA step size")
 	ratio := flag.Float64("ratio", 1, "kernel adjustment ratio (sim only)")
 	workers := flag.Int("workers", 2, "workers per node (real engine)")
+	sched := flag.String("sched", "steal", "real engine scheduler: "+castencil.SchedNames)
 	verify := flag.Bool("verify", false, "real engine: compare against the sequential oracle")
-	traceOut := flag.String("trace", "", "sim: write a CSV trace of node 0 to this file")
+	traceOut := flag.String("trace", "", "write a CSV trace to this file (sim: node 0; real: all nodes)")
 	planMode := flag.Bool("plan", false, "run the automatic step-size planner instead of a single config")
 	dotOut := flag.String("dot", "", "write the task graph in Graphviz DOT format to this file and exit (small configs only)")
 	flag.Parse()
@@ -151,12 +152,43 @@ func main() {
 			fmt.Printf("  trace of node 0 written to %s (%d events)\n", *traceOut, tr.Len())
 		}
 	case "real":
-		res, err := castencil.RunReal(variant, cfg, castencil.ExecOptions{Workers: *workers})
+		s, pol, err := castencil.ParseSched(*sched)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("%s real run: %d nodes x %d workers, elapsed %v, %d messages, %.1f MB sent\n",
-			variant, *nodes, *workers, res.Exec.Elapsed, res.Exec.Messages, float64(res.Exec.BytesSent)/1e6)
+		opts := castencil.ExecOptions{Workers: *workers, Sched: s, Policy: pol}
+		var tr *castencil.Trace
+		if *traceOut != "" {
+			tr = castencil.NewTrace()
+			opts.Trace = tr
+		}
+		res, err := castencil.RunReal(variant, cfg, opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s real run (%s): %d nodes x %d workers, elapsed %v, %d messages, %.1f MB sent\n",
+			variant, s, *nodes, *workers, res.Exec.Elapsed, res.Exec.Messages, float64(res.Exec.BytesSent)/1e6)
+		if s == castencil.WorkStealing {
+			hits, steals, parks := 0, 0, 0
+			for n := range res.Exec.NodeLocalHits {
+				hits += res.Exec.NodeLocalHits[n]
+				steals += res.Exec.NodeSteals[n]
+				parks += res.Exec.NodeParks[n]
+			}
+			fmt.Printf("  scheduler: %d local deque hits, %d steals, %d parks across %d tasks\n",
+				hits, steals, parks, res.Exec.Completed)
+		}
+		if tr != nil {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			if err := tr.WriteCSV(f); err != nil {
+				fail(err)
+			}
+			fmt.Printf("  trace written to %s (%d events)\n", *traceOut, tr.Len())
+		}
 		if *verify {
 			if d := castencil.Verify(cfg, res); d == 0 {
 				fmt.Println("  verified: bitwise identical to the sequential oracle")

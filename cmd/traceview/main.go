@@ -62,6 +62,11 @@ func main() {
 		for kind, med := range st.MedianByKind {
 			fmt.Printf("  %-9s x%-5d median %v\n", kind, st.CountByKind[kind], med.Round(time.Microsecond))
 		}
+		fmt.Println("  core  tasks  stolen  busy        util")
+		for _, cs := range trace.SummarizeCores(events, cores) {
+			fmt.Printf("  %4d  %5d  %6d  %-10v  %3.0f%%\n",
+				cs.Core, cs.Tasks, cs.Stolen, cs.Busy.Round(time.Microsecond), 100*cs.Util)
+		}
 		fmt.Print(trace.Gantt(events, cores, trace.GanttConfig{Width: *width}))
 		fmt.Println()
 	}

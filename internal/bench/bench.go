@@ -96,6 +96,9 @@ type Params struct {
 	Ratios    []float64
 	StepSizes []int // Fig. 9 sweep (paper: 5, 15, 25, 40)
 	TileSweep []int // Fig. 6 tile sizes (0 = per-machine defaults)
+	// Sched filters the real-runtime scheduler comparison to one named
+	// scheduler ("steal", "fifo", "lifo", "priority"); empty runs them all.
+	Sched string
 }
 
 // PaperParams returns the paper's exact experimental configuration.

@@ -103,27 +103,71 @@ func BenchmarkMsgRoundTripZeroCopy(b *testing.B) {
 	}
 }
 
-// BenchmarkExecutorReal runs the full concurrent engine on the base variant
-// (16 tiles over 2 nodes, 20 steps) — the end-to-end number the hot-path
-// work targets: graph build + scheduling + packing + transport + kernels.
-func BenchmarkExecutorReal(b *testing.B) {
-	cfg := Config{N: 64, TileRows: 16, P: 2, Steps: 20}
+// benchSchedCases enumerates the scheduler configurations the executor
+// benchmarks compare: the shared-queue compatibility scheduler vs the
+// work-stealing scheduler, at 2 and 4 workers per node.
+func benchSchedCases() []struct {
+	Name string
+	Opts runtime.Options
+} {
+	return []struct {
+		Name string
+		Opts runtime.Options
+	}{
+		{"shared-w2", runtime.Options{Workers: 2}},
+		{"steal-w2", runtime.Options{Workers: 2, Sched: runtime.WorkStealing}},
+		{"shared-w4", runtime.Options{Workers: 4}},
+		{"steal-w4", runtime.Options{Workers: 4, Sched: runtime.WorkStealing}},
+	}
+}
+
+// benchExecutor runs a prebuilt graph to completion b.N times — execution
+// only, no graph construction, the number the scheduler work targets.
+func benchExecutor(b *testing.B, v Variant, cfg Config, opts runtime.Options) {
+	b.Helper()
+	cfg.WithBodies = true
+	g, err := BuildGraph(v, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunReal(Base, cfg, runtime.Options{Workers: 2}); err != nil {
+		res, err := runtime.Run(g, opts)
+		if err != nil {
 			b.Fatal(err)
+		}
+		if res.Dropped != 0 {
+			b.Fatalf("dropped %d transfers", res.Dropped)
+		}
+	}
+}
+
+// BenchmarkExecutorReal runs the full concurrent engine on a task-rich base
+// graph (1024 tiles, 20 steps, ~21k stencil tasks) under each scheduler —
+// scheduling + packing + kernels, graph prebuilt. The n1 shape keeps every
+// dependency node-local (scheduler-bound); n4 adds the serialized
+// inter-node transport (comm-inclusive).
+func BenchmarkExecutorReal(b *testing.B) {
+	shapes := []struct {
+		name string
+		cfg  Config
+	}{
+		{"n1", Config{N: 256, TileRows: 8, P: 1, Steps: 20}},
+		{"n4", Config{N: 256, TileRows: 8, P: 2, Steps: 20}},
+	}
+	for _, sh := range shapes {
+		for _, sc := range benchSchedCases() {
+			b.Run(sh.name+"-"+sc.Name, func(b *testing.B) { benchExecutor(b, Base, sh.cfg, sc.Opts) })
 		}
 	}
 }
 
 // BenchmarkExecutorRealCA is the CA variant of the same experiment.
 func BenchmarkExecutorRealCA(b *testing.B) {
-	cfg := Config{N: 64, TileRows: 16, P: 2, Steps: 20, StepSize: 4}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := RunReal(CA, cfg, runtime.Options{Workers: 2}); err != nil {
-			b.Fatal(err)
-		}
+	cfg := Config{N: 256, TileRows: 16, P: 2, Steps: 20, StepSize: 4}
+	for _, sc := range benchSchedCases() {
+		b.Run(sc.Name, func(b *testing.B) { benchExecutor(b, CA, cfg, sc.Opts) })
 	}
 }
 

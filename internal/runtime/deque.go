@@ -1,0 +1,113 @@
+package runtime
+
+import "sync/atomic"
+
+// deque is a Chase-Lev work-stealing deque of task indices: the owning
+// worker pushes and pops at the bottom (LIFO, so a tile chain stays hot in
+// that worker's cache), thieves steal from the top (FIFO, so they take the
+// oldest — and for stencil graphs, least cache-affine — work). All accesses
+// go through sync/atomic, so the structure is lock-free and race-detector
+// clean; push/pop are owner-only, steal is safe from any goroutine.
+//
+// This is the per-core queue of the paper's PaRSEC configuration ("per-core
+// task queues with job stealing"); see also Chase & Lev, "Dynamic Circular
+// Work-Stealing Deque" (SPAA'05).
+type deque struct {
+	top    atomic.Int64 // next index to steal; only ever increases
+	bottom atomic.Int64 // next index to push; owner-written
+	buf    atomic.Pointer[dequeBuf]
+}
+
+// dequeBuf is one generation of the circular array. Grown copies never
+// mutate the old generation, so a thief holding a stale pointer still reads
+// valid values for any index it can win the CAS on.
+type dequeBuf struct {
+	mask int64
+	slot []atomic.Int64
+}
+
+const dequeInitialSize = 64 // must be a power of two
+
+func newDequeBuf(n int) *dequeBuf {
+	return &dequeBuf{mask: int64(n - 1), slot: make([]atomic.Int64, n)}
+}
+
+func newDeque() *deque {
+	d := &deque{}
+	d.buf.Store(newDequeBuf(dequeInitialSize))
+	return d
+}
+
+// push appends a task at the bottom. Owner only.
+func (d *deque) push(t int32) {
+	b := d.bottom.Load()
+	tp := d.top.Load()
+	buf := d.buf.Load()
+	if b-tp >= int64(len(buf.slot)) {
+		buf = d.grow(buf, tp, b)
+	}
+	buf.slot[b&buf.mask].Store(int64(t))
+	d.bottom.Store(b + 1)
+}
+
+// grow doubles the circular array, copying the live range [tp, b). Owner
+// only (called from push with the owner's view of top/bottom).
+func (d *deque) grow(old *dequeBuf, tp, b int64) *dequeBuf {
+	nb := newDequeBuf(2 * len(old.slot))
+	for i := tp; i < b; i++ {
+		nb.slot[i&nb.mask].Store(old.slot[i&old.mask].Load())
+	}
+	d.buf.Store(nb)
+	return nb
+}
+
+// pop removes the most recently pushed task (LIFO). Owner only. The only
+// contended case is the last element, where the owner races thieves with a
+// CAS on top.
+func (d *deque) pop() (int32, bool) {
+	b := d.bottom.Load() - 1
+	buf := d.buf.Load()
+	d.bottom.Store(b)
+	tp := d.top.Load()
+	if tp > b {
+		// Empty: restore the canonical empty state (top == bottom).
+		d.bottom.Store(tp)
+		return 0, false
+	}
+	t := int32(buf.slot[b&buf.mask].Load())
+	if tp == b {
+		// Last element: win it from any concurrent thief or concede.
+		won := d.top.CompareAndSwap(tp, tp+1)
+		d.bottom.Store(tp + 1)
+		if !won {
+			return 0, false
+		}
+	}
+	return t, true
+}
+
+// steal removes the oldest task (FIFO). Safe from any goroutine; retries
+// while it loses CAS races against other thieves or the owner's final pop.
+func (d *deque) steal() (int32, bool) {
+	for {
+		tp := d.top.Load()
+		b := d.bottom.Load()
+		if tp >= b {
+			return 0, false
+		}
+		buf := d.buf.Load()
+		t := int32(buf.slot[tp&buf.mask].Load())
+		if d.top.CompareAndSwap(tp, tp+1) {
+			return t, true
+		}
+	}
+}
+
+// size is a racy estimate of the element count (exact when quiescent).
+func (d *deque) size() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}

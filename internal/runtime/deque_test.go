@@ -1,0 +1,162 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDequeLIFOOwner(t *testing.T) {
+	d := newDeque()
+	for i := int32(0); i < 100; i++ {
+		d.push(i)
+	}
+	if d.size() != 100 {
+		t.Fatalf("size = %d, want 100", d.size())
+	}
+	for i := int32(99); i >= 0; i-- {
+		v, ok := d.pop()
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v, want %d", v, ok, i)
+		}
+	}
+	if _, ok := d.pop(); ok {
+		t.Fatal("pop from empty deque succeeded")
+	}
+	if _, ok := d.steal(); ok {
+		t.Fatal("steal from empty deque succeeded")
+	}
+}
+
+func TestDequeFIFOSteal(t *testing.T) {
+	d := newDeque()
+	for i := int32(0); i < 100; i++ {
+		d.push(i)
+	}
+	for i := int32(0); i < 100; i++ {
+		v, ok := d.steal()
+		if !ok || v != i {
+			t.Fatalf("steal = %d,%v, want %d", v, ok, i)
+		}
+	}
+	if _, ok := d.steal(); ok {
+		t.Fatal("steal from empty deque succeeded")
+	}
+}
+
+func TestDequeGrowsPastInitialSize(t *testing.T) {
+	d := newDeque()
+	const n = 10 * dequeInitialSize
+	for i := int32(0); i < n; i++ {
+		d.push(i)
+	}
+	// Mixed consumption across the grown buffer: steal half from the top,
+	// pop half from the bottom.
+	for i := int32(0); i < n/2; i++ {
+		if v, ok := d.steal(); !ok || v != i {
+			t.Fatalf("steal = %d,%v, want %d", v, ok, i)
+		}
+	}
+	for i := int32(n - 1); i >= n/2; i-- {
+		if v, ok := d.pop(); !ok || v != i {
+			t.Fatalf("pop = %d,%v, want %d", v, ok, i)
+		}
+	}
+	if d.size() != 0 {
+		t.Fatalf("size = %d after draining", d.size())
+	}
+}
+
+func TestDequeInterleavedPushPop(t *testing.T) {
+	// Wrap the circular buffer many times without growing.
+	d := newDeque()
+	next := int32(0)
+	for round := 0; round < 1000; round++ {
+		for i := 0; i < 48; i++ {
+			d.push(next)
+			next++
+		}
+		for i := 0; i < 48; i++ {
+			if _, ok := d.pop(); !ok {
+				t.Fatal("pop failed mid-round")
+			}
+		}
+	}
+	if got := len(d.buf.Load().slot); got != dequeInitialSize {
+		t.Fatalf("buffer grew to %d during wrap-around churn", got)
+	}
+}
+
+// TestDequeConcurrentExactlyOnce races one owner (push + occasional pop)
+// against several thieves and checks every pushed value is consumed exactly
+// once. Run with -race for the full effect.
+func TestDequeConcurrentExactlyOnce(t *testing.T) {
+	const (
+		total   = 20000
+		thieves = 3
+	)
+	d := newDeque()
+	var mu sync.Mutex
+	seen := make(map[int32]int, total)
+	record := func(vals []int32) {
+		mu.Lock()
+		for _, v := range vals {
+			seen[v]++
+		}
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var got []int32
+			for {
+				if v, ok := d.steal(); ok {
+					got = append(got, v)
+					continue
+				}
+				select {
+				case <-done:
+					// Final sweep after the owner stopped producing.
+					for {
+						v, ok := d.steal()
+						if !ok {
+							record(got)
+							return
+						}
+						got = append(got, v)
+					}
+				default:
+				}
+			}
+		}()
+	}
+	var owned []int32
+	for i := int32(0); i < total; i++ {
+		d.push(i)
+		if i%3 == 0 {
+			if v, ok := d.pop(); ok {
+				owned = append(owned, v)
+			}
+		}
+	}
+	for {
+		v, ok := d.pop()
+		if !ok {
+			break
+		}
+		owned = append(owned, v)
+	}
+	close(done)
+	wg.Wait()
+	record(owned)
+	if len(seen) != total {
+		t.Fatalf("consumed %d distinct values, want %d", len(seen), total)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d consumed %d times", v, n)
+		}
+	}
+}

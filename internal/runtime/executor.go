@@ -36,7 +36,13 @@ type Interceptor func(m Message, deliver func(Message))
 type Options struct {
 	// Workers is the number of compute goroutines per node (default 1).
 	Workers int
-	// Policy selects the ready-queue discipline (default FIFO).
+	// Sched selects the scheduler architecture (default SharedQueue;
+	// WorkStealing is the per-worker-deque scheduler). The choice never
+	// changes numerics — only who runs what, when.
+	Sched Sched
+	// Policy selects the ready-queue discipline (default FIFO): the
+	// shared queue's order under SharedQueue, the injection queue's
+	// order under WorkStealing.
 	Policy Policy
 	// Trace, when non-nil, receives one event per executed task.
 	Trace *trace.Trace
@@ -61,6 +67,13 @@ type Result struct {
 	// summed task execution time (across that node's workers).
 	NodeTasks []int
 	NodeBusy  []time.Duration
+	// Scheduler observability, per node. NodeLocalHits counts tasks a
+	// worker popped from its own deque, NodeSteals tasks taken from a
+	// sibling worker's deque (both zero under SharedQueue). NodeParks
+	// counts worker park episodes on the node condvar (all schedulers).
+	NodeLocalHits []int
+	NodeSteals    []int
+	NodeParks     []int
 }
 
 type sendReq struct {
@@ -74,14 +87,43 @@ type execNode struct {
 	env   ptg.Env // the node's environment, boxed once
 	mu    sync.Mutex
 	cond  *sync.Cond
+	// queue is the node-level ready queue: the one shared queue under
+	// SharedQueue; the overflow/injection queue (comm goroutine + root
+	// seeding) under WorkStealing. Guarded by mu.
 	queue readyQueue
+	// wakeSeq, guarded by mu, is bumped by deque producers that want to
+	// wake parked workers; a parker re-checks it before sleeping, which
+	// closes the lost-wakeup race with lock-free deque pushes.
+	wakeSeq uint64
+	// deques holds one Chase-Lev deque per worker (WorkStealing only).
+	deques []*deque
+	parked atomic.Int32 // workers currently in (or entering) the park path
+
+	localHits atomic.Int64
+	steals    atomic.Int64
+	parks     atomic.Int64
+
 	sendQ chan sendReq
 	inbox chan Message
+}
+
+// wake bumps the wake sequence and wakes up to n parked workers. Called by
+// a worker whose lock-free deque pushes left surplus work while siblings
+// were parked; waking surplus-many (not all) avoids a thundering herd that
+// would just re-scan and re-park.
+func (nd *execNode) wake(n int) {
+	nd.mu.Lock()
+	nd.wakeSeq++
+	for i := 0; i < n; i++ {
+		nd.cond.Signal()
+	}
+	nd.mu.Unlock()
 }
 
 type executor struct {
 	g       *ptg.Graph
 	opts    Options
+	steal   bool // opts.Sched == WorkStealing
 	nodes   []*execNode
 	pending []int32 // remaining dep count per task (atomic)
 	t0      time.Time
@@ -129,6 +171,7 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 	ex := &executor{
 		g:         g,
 		opts:      opts,
+		steal:     opts.Sched == WorkStealing,
 		pending:   make([]int32, len(g.Tasks)),
 		total:     int64(len(g.Tasks)),
 		finished:  make(chan struct{}),
@@ -166,6 +209,12 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 			queue: newReadyQueue(opts.Policy),
 			sendQ: make(chan sendReq, sendNeed[n]+1),
 			inbox: make(chan Message, inboxNeed[n]+1),
+		}
+		if ex.steal {
+			nd.deques = make([]*deque, opts.Workers)
+			for w := range nd.deques {
+				nd.deques[w] = newDeque()
+			}
 		}
 		nd.env = env{node: nd.id, store: nd.store}
 		nd.cond = sync.NewCond(&nd.mu)
@@ -218,18 +267,24 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 	err := ex.runErr
 	ex.errMu.Unlock()
 	res := &Result{
-		Elapsed:   elapsed,
-		Stores:    ex.stores(),
-		Messages:  int(ex.messages.Load()),
-		BytesSent: int(ex.bytesSent.Load()),
-		Completed: int(ex.completed.Load()),
-		Dropped:   int(ex.dropped.Load()),
-		NodeTasks: make([]int, g.NumNodes),
-		NodeBusy:  make([]time.Duration, g.NumNodes),
+		Elapsed:       elapsed,
+		Stores:        ex.stores(),
+		Messages:      int(ex.messages.Load()),
+		BytesSent:     int(ex.bytesSent.Load()),
+		Completed:     int(ex.completed.Load()),
+		Dropped:       int(ex.dropped.Load()),
+		NodeTasks:     make([]int, g.NumNodes),
+		NodeBusy:      make([]time.Duration, g.NumNodes),
+		NodeLocalHits: make([]int, g.NumNodes),
+		NodeSteals:    make([]int, g.NumNodes),
+		NodeParks:     make([]int, g.NumNodes),
 	}
 	for n := 0; n < g.NumNodes; n++ {
 		res.NodeTasks[n] = int(ex.nodeTasks[n].Load())
 		res.NodeBusy[n] = time.Duration(ex.nodeBusy[n].Load())
+		res.NodeLocalHits[n] = int(ex.nodes[n].localHits.Load())
+		res.NodeSteals[n] = int(ex.nodes[n].steals.Load())
+		res.NodeParks[n] = int(ex.nodes[n].parks.Load())
 	}
 	if err != nil {
 		// The partial result accompanies the error so callers can audit
@@ -303,11 +358,18 @@ func (ex *executor) satisfy(idx int32) {
 
 func (ex *executor) worker(nd *execNode, core int32, wg *sync.WaitGroup) {
 	defer wg.Done()
+	if ex.steal {
+		ex.workerSteal(nd, core)
+		return
+	}
 	var ready []int32 // per-worker scratch for batched successor release
 	for {
 		nd.mu.Lock()
-		for nd.queue.size() == 0 && !ex.done.Load() {
-			nd.cond.Wait()
+		if nd.queue.size() == 0 && !ex.done.Load() {
+			nd.parks.Add(1)
+			for nd.queue.size() == 0 && !ex.done.Load() {
+				nd.cond.Wait()
+			}
 		}
 		idx, ok := nd.queue.pop()
 		nd.mu.Unlock()
@@ -317,11 +379,70 @@ func (ex *executor) worker(nd *execNode, core int32, wg *sync.WaitGroup) {
 			}
 			continue
 		}
-		ready = ex.runTask(nd, core, idx, ready[:0])
+		ready = ex.runTask(nd, core, idx, false, ready[:0])
 	}
 }
 
-func (ex *executor) runTask(nd *execNode, core int32, idx int32, ready []int32) []int32 {
+// workerSteal is the work-stealing compute loop: own deque first (LIFO,
+// cache-hot successors), then siblings' deques (FIFO steal), then the
+// node-level injection queue, then park. The park protocol pairs the
+// atomic parked counter with a re-scan: a deque producer either sees
+// parked > 0 (and bumps wakeSeq under the lock) or its push is ordered
+// before the parker's final scan — sequential consistency of both atomics
+// rules out the lost wakeup.
+func (ex *executor) workerSteal(nd *execNode, core int32) {
+	own := nd.deques[core]
+	var ready []int32
+	for {
+		idx, stolen, ok := ex.findWork(nd, core, own)
+		if !ok {
+			if ex.done.Load() {
+				return
+			}
+			nd.mu.Lock()
+			seq := nd.wakeSeq
+			nd.mu.Unlock()
+			nd.parked.Add(1)
+			idx, stolen, ok = ex.findWork(nd, core, own)
+			if !ok {
+				nd.mu.Lock()
+				if nd.wakeSeq == seq && nd.queue.size() == 0 && !ex.done.Load() {
+					nd.parks.Add(1)
+					for nd.wakeSeq == seq && nd.queue.size() == 0 && !ex.done.Load() {
+						nd.cond.Wait()
+					}
+				}
+				nd.mu.Unlock()
+				nd.parked.Add(-1)
+				continue
+			}
+			nd.parked.Add(-1)
+		}
+		ready = ex.runTask(nd, core, idx, stolen, ready[:0])
+	}
+}
+
+// findWork implements the steal order: local deque, sibling deques
+// (starting just past the caller for spread), injection queue.
+func (ex *executor) findWork(nd *execNode, core int32, own *deque) (idx int32, stolen, ok bool) {
+	if idx, ok := own.pop(); ok {
+		nd.localHits.Add(1)
+		return idx, false, true
+	}
+	n := len(nd.deques)
+	for off := 1; off < n; off++ {
+		if idx, ok := nd.deques[(int(core)+off)%n].steal(); ok {
+			nd.steals.Add(1)
+			return idx, true, true
+		}
+	}
+	nd.mu.Lock()
+	idx, ok = nd.queue.pop()
+	nd.mu.Unlock()
+	return idx, false, ok
+}
+
+func (ex *executor) runTask(nd *execNode, core int32, idx int32, stolen bool, ready []int32) []int32 {
 	defer func() {
 		if r := recover(); r != nil {
 			ex.fail(fmt.Errorf("runtime: task %v panicked: %v", ex.g.Tasks[idx].ID, r))
@@ -338,7 +459,7 @@ func (ex *executor) runTask(nd *execNode, core int32, idx int32, ready []int32) 
 	if ex.opts.Trace != nil {
 		ex.opts.Trace.Record(trace.Event{
 			ID: t.ID, Kind: t.Kind, Node: nd.id, Core: core,
-			Start: start, End: end,
+			Start: start, End: end, Stolen: stolen,
 		})
 	}
 
@@ -361,7 +482,25 @@ func (ex *executor) runTask(nd *execNode, core int32, idx int32, ready []int32) 
 		}
 	}
 	if len(ready) > 0 {
-		ex.enqueueBatch(nd, ready)
+		if ex.steal {
+			// Locality-first successor placement: newly-ready local
+			// successors go straight onto this worker's own deque — no
+			// lock, no wakeup. The worker pops one back immediately
+			// (LIFO), so siblings only need waking when there is
+			// surplus beyond that.
+			d := nd.deques[core]
+			for _, s := range ready {
+				d.push(s)
+			}
+			if p := int(nd.parked.Load()); p > 0 && len(ready) > 1 {
+				if surplus := len(ready) - 1; surplus < p {
+					p = surplus
+				}
+				nd.wake(p)
+			}
+		} else {
+			ex.enqueueBatch(nd, ready)
+		}
 	}
 
 	if ex.completed.Add(1) == ex.total {

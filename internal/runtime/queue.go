@@ -1,9 +1,64 @@
 package runtime
 
-import "container/heap"
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+)
+
+// Sched selects the scheduler architecture, the analog of swapping
+// PaRSEC's scheduler module.
+type Sched int
+
+const (
+	// SharedQueue is one Policy-ordered ready queue per node, shared by
+	// all of the node's workers under a mutex (the pre-work-stealing
+	// design, kept as the compatibility scheduler).
+	SharedQueue Sched = iota
+	// WorkStealing gives each worker a Chase-Lev deque: newly-ready
+	// local successors go straight onto the completing worker's own
+	// deque (lock-free LIFO, cache locality on tile chains); idle
+	// workers steal from siblings (FIFO), then fall back to a node-level
+	// Policy-ordered injection queue fed by the communication goroutine
+	// and root seeding, then park. This mirrors the paper's PaRSEC
+	// configuration: per-core task queues with job stealing.
+	WorkStealing
+)
+
+func (s Sched) String() string {
+	switch s {
+	case SharedQueue:
+		return "shared"
+	case WorkStealing:
+		return "steal"
+	}
+	return "unknown"
+}
+
+// SchedNames lists the values ParseSched accepts, for flag usage strings.
+const SchedNames = "steal, fifo, lifo, priority"
+
+// ParseSched maps a -sched flag value to a scheduler configuration:
+// "steal" selects the work-stealing scheduler (Policy orders its injection
+// queue); "fifo", "lifo" and "priority" select the shared-queue scheduler
+// with that discipline.
+func ParseSched(name string) (Sched, Policy, error) {
+	switch strings.ToLower(name) {
+	case "steal", "ws", "work-stealing":
+		return WorkStealing, FIFO, nil
+	case "shared", "fifo":
+		return SharedQueue, FIFO, nil
+	case "lifo":
+		return SharedQueue, LIFO, nil
+	case "priority", "prio":
+		return SharedQueue, PriorityOrder, nil
+	}
+	return 0, 0, fmt.Errorf("runtime: unknown scheduler %q (valid: %s)", name, SchedNames)
+}
 
 // Policy selects the per-node ready-queue discipline, the analog of
-// PaRSEC's pluggable schedulers.
+// PaRSEC's pluggable schedulers. Under SharedQueue it orders the node's
+// one shared queue; under WorkStealing it orders the injection queue.
 type Policy int
 
 const (
@@ -61,8 +116,17 @@ func (q *fifoQueue) pop() (int32, bool) {
 	}
 	t := q.items[q.head]
 	q.head++
-	if q.head == len(q.items) {
+	switch {
+	case q.head == len(q.items):
 		q.items = q.items[:0]
+		q.head = 0
+	case q.head > len(q.items)/2:
+		// Compact once the dead prefix dominates: a queue that never
+		// fully drains (steady streaming) would otherwise retain every
+		// task ever pushed. Moving < len/2 live items after >= len/2
+		// pops keeps this amortized O(1).
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
 		q.head = 0
 	}
 	return t, true
@@ -104,6 +168,14 @@ func (q *prioQueue) pop() (int32, bool) {
 		return 0, false
 	}
 	it := heap.Pop(&q.h).(prioItem)
+	// Shrink the backing array after large bursts: heap.Pop re-slices but
+	// never releases capacity, so a one-time spike would pin its peak
+	// footprint for the rest of the run.
+	if c := cap(q.h); c >= 64 && len(q.h) <= c/4 {
+		nh := make(prioHeap, len(q.h), c/2)
+		copy(nh, q.h)
+		q.h = nh
+	}
 	return it.task, true
 }
 

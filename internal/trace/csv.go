@@ -9,8 +9,10 @@ import (
 	"castencil/internal/ptg"
 )
 
-// csvHeader is the column layout of the on-disk trace format.
-var csvHeader = []string{"class", "i", "j", "k", "kind", "node", "core", "start_ns", "end_ns"}
+// csvHeader is the column layout of the on-disk trace format. The trailing
+// "stolen" column was added with the work-stealing scheduler; ReadCSV still
+// accepts the original nine-column files.
+var csvHeader = []string{"class", "i", "j", "k", "kind", "node", "core", "start_ns", "end_ns", "stolen"}
 
 // WriteCSV serializes the trace (sorted by start time) for later rendering
 // with cmd/traceview.
@@ -20,12 +22,17 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 		return err
 	}
 	for _, e := range t.Events() {
+		stolen := "0"
+		if e.Stolen {
+			stolen = "1"
+		}
 		rec := []string{
 			e.ID.Class,
 			strconv.Itoa(e.ID.I), strconv.Itoa(e.ID.J), strconv.Itoa(e.ID.K),
 			strconv.Itoa(int(e.Kind)),
 			strconv.Itoa(int(e.Node)), strconv.Itoa(int(e.Core)),
 			strconv.FormatInt(int64(e.Start), 10), strconv.FormatInt(int64(e.End), 10),
+			stolen,
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -35,9 +42,11 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV loads a trace previously written with WriteCSV.
+// ReadCSV loads a trace previously written with WriteCSV, including
+// pre-"stolen"-column files.
 func ReadCSV(r io.Reader) (*Trace, error) {
 	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
 	rows, err := cr.ReadAll()
 	if err != nil {
 		return nil, err
@@ -45,11 +54,14 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("trace: empty CSV")
 	}
-	if len(rows[0]) != len(csvHeader) || rows[0][0] != "class" {
+	if (len(rows[0]) != len(csvHeader) && len(rows[0]) != len(csvHeader)-1) || rows[0][0] != "class" {
 		return nil, fmt.Errorf("trace: unrecognized header %v", rows[0])
 	}
 	t := New()
 	for ln, rec := range rows[1:] {
+		if len(rec) != len(rows[0]) {
+			return nil, fmt.Errorf("trace: line %d has %d columns, want %d", ln+2, len(rec), len(rows[0]))
+		}
 		ints := make([]int64, 8)
 		for i := 1; i < 9; i++ {
 			v, err := strconv.ParseInt(rec[i], 10, 64)
@@ -58,13 +70,22 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 			}
 			ints[i-1] = v
 		}
+		stolen := false
+		if len(rec) > 9 {
+			v, err := strconv.ParseInt(rec[9], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d column stolen: %v", ln+2, err)
+			}
+			stolen = v != 0
+		}
 		t.Record(Event{
-			ID:    ptg.TaskID{Class: rec[0], I: int(ints[0]), J: int(ints[1]), K: int(ints[2])},
-			Kind:  ptg.Kind(ints[3]),
-			Node:  int32(ints[4]),
-			Core:  int32(ints[5]),
-			Start: timeDuration(ints[6]),
-			End:   timeDuration(ints[7]),
+			ID:     ptg.TaskID{Class: rec[0], I: int(ints[0]), J: int(ints[1]), K: int(ints[2])},
+			Kind:   ptg.Kind(ints[3]),
+			Node:   int32(ints[4]),
+			Core:   int32(ints[5]),
+			Start:  timeDuration(ints[6]),
+			End:    timeDuration(ints[7]),
+			Stolen: stolen,
 		})
 	}
 	return t, nil

@@ -20,6 +20,9 @@ type Event struct {
 	Kind       ptg.Kind
 	Node, Core int32
 	Start, End time.Duration
+	// Stolen marks a task the executing core took from a sibling
+	// worker's deque (work-stealing scheduler only).
+	Stolen bool
 }
 
 // Duration returns the event's execution time.
@@ -130,6 +133,54 @@ func Summarize(events []Event, cores int) Stats {
 		s.CountByKind[k] = len(ds)
 	}
 	return s
+}
+
+// CoreStats summarizes one core's share of a node's events: the raw
+// material for spotting scheduler imbalance (a starved core shows low
+// Util; a core living off its siblings shows high Stolen).
+type CoreStats struct {
+	Core   int32
+	Tasks  int
+	Stolen int           // tasks obtained by stealing from a sibling
+	Busy   time.Duration // summed task durations on this core
+	Util   float64       // Busy / node span
+}
+
+// SummarizeCores buckets one node's events per core (0..cores-1) and
+// computes each core's busy time and utilization against the node's span
+// (first start to last end across all the events given).
+func SummarizeCores(events []Event, cores int) []CoreStats {
+	out := make([]CoreStats, cores)
+	for i := range out {
+		out[i].Core = int32(i)
+	}
+	if len(events) == 0 {
+		return out
+	}
+	first, last := events[0].Start, time.Duration(0)
+	for _, e := range events {
+		if e.Start < first {
+			first = e.Start
+		}
+		if e.End > last {
+			last = e.End
+		}
+		if int(e.Core) < 0 || int(e.Core) >= cores {
+			continue
+		}
+		c := &out[e.Core]
+		c.Tasks++
+		c.Busy += e.Duration()
+		if e.Stolen {
+			c.Stolen++
+		}
+	}
+	if span := last - first; span > 0 {
+		for i := range out {
+			out[i].Util = float64(out[i].Busy) / float64(span)
+		}
+	}
+	return out
 }
 
 // GanttConfig controls text rendering.
