@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-sched check
+.PHONY: all build vet test race bench-smoke bench bench-sched bench-comm check
 
 all: check
 
@@ -32,6 +32,14 @@ bench-sched:
 		-benchtime 20x -benchmem \
 		./internal/core/ ./internal/runtime/
 	$(GO) run ./cmd/stencilbench -exp sched -quick
+
+# Halo-coalescing ablation behind BENCH_3.json: per-neighbor bundles vs
+# point-to-point on both engines, plus the coalesced-path microbenchmarks.
+bench-comm:
+	$(GO) test -run '^$$' -bench 'BundleRoundTrip|ExecutorCoalesce' \
+		-benchtime 20x -benchmem \
+		./internal/runtime/ ./internal/core/
+	$(GO) run ./cmd/stencilbench -exp coalesce -quick
 
 # Full measurement run behind BENCH_1.json.
 bench:

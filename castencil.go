@@ -92,6 +92,27 @@ const SchedNames = runtime.SchedNames
 // "priority", ...) to a scheduler architecture and queue policy.
 func ParseSched(name string) (Sched, Policy, error) { return runtime.ParseSched(name) }
 
+// CoalesceMode selects halo-bundle coalescing: all cross-node payloads one
+// node produces in one epoch toward one neighbor travel as a single wire
+// message over a persistent communication lane. Coalescing never changes
+// numerics — results stay bitwise identical to the sequential oracle.
+type CoalesceMode = ptg.CoalesceMode
+
+// Coalescing modes: off (point-to-point delivery, the default), step
+// (required — the run fails when the graph does not admit a deadlock-free
+// bundle plan), auto (coalesce when possible, fall back to point-to-point).
+const (
+	CoalesceOff  = ptg.CoalesceOff
+	CoalesceStep = ptg.CoalesceStep
+	CoalesceAuto = ptg.CoalesceAuto
+)
+
+// CoalesceNames lists the mode names ParseCoalesce accepts, for flag help.
+const CoalesceNames = ptg.CoalesceNames
+
+// ParseCoalesce maps a command-line coalescing mode name to a CoalesceMode.
+func ParseCoalesce(name string) (CoalesceMode, error) { return ptg.ParseCoalesce(name) }
+
 // Policy orders the shared ready queue (or the injection queue under work
 // stealing).
 type Policy = runtime.Policy

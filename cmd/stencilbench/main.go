@@ -23,12 +23,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig5, fig6, fig7, fig8, fig9, fig10, roofline, headline, future, ninepoint, autoplan, sched, weak")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig5, fig6, fig7, fig8, fig9, fig10, roofline, headline, future, ninepoint, autoplan, sched, weak, coalesce")
 	quick := flag.Bool("quick", false, "quarter-scale workloads, 10 iterations (fast)")
 	host := flag.Bool("host", false, "table1: run a real STREAM benchmark on this host too")
 	gantt := flag.Int("gantt", 0, "fig10: also print text Gantt charts of the given width")
 	steps := flag.Int("steps", 0, "override iteration count")
 	sched := flag.String("sched", "", "sched experiment: restrict the real-runtime table to one scheduler (steal, fifo, lifo, priority; empty = all)")
+	coalesce := flag.String("coalesce", "", "coalesce experiment: restrict the ablation to one mode (off, step; empty = both)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the experiments to this file")
 	flag.Parse()
@@ -70,6 +71,7 @@ func main() {
 		p.Steps = *steps
 	}
 	p.Sched = *sched
+	p.Coalesce = *coalesce
 
 	want := func(id string) bool { return *exp == "all" || *exp == id }
 	ran := 0
@@ -174,6 +176,14 @@ func main() {
 		}},
 		{"weak", func() error {
 			r, err := bench.WeakScaling(p)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"coalesce", func() error {
+			r, err := bench.Coalesce(p)
 			if err != nil {
 				return err
 			}

@@ -35,6 +35,7 @@ func main() {
 	ratio := flag.Float64("ratio", 1, "kernel adjustment ratio (sim only)")
 	workers := flag.Int("workers", 2, "workers per node (real engine)")
 	sched := flag.String("sched", "steal", "real engine scheduler: "+castencil.SchedNames)
+	coalesce := flag.String("coalesce", "off", "halo-bundle coalescing: "+castencil.CoalesceNames)
 	verify := flag.Bool("verify", false, "real engine: compare against the sequential oracle")
 	traceOut := flag.String("trace", "", "write a CSV trace to this file (sim: node 0; real: all nodes)")
 	planMode := flag.Bool("plan", false, "run the automatic step-size planner instead of a single config")
@@ -49,6 +50,10 @@ func main() {
 		fail(fmt.Errorf("nodes = %d is not a perfect square", *nodes))
 	}
 	m, err := castencil.MachineByName(*machineName)
+	if err != nil {
+		fail(err)
+	}
+	coal, err := castencil.ParseCoalesce(*coalesce)
 	if err != nil {
 		fail(err)
 	}
@@ -120,7 +125,7 @@ func main() {
 
 	switch *engine {
 	case "sim":
-		opts := castencil.SimOptions{Machine: m, Ratio: *ratio}
+		opts := castencil.SimOptions{Machine: m, Ratio: *ratio, Coalesce: coal}
 		var tr *castencil.Trace
 		if *traceOut != "" {
 			tr = castencil.NewTrace()
@@ -140,6 +145,10 @@ func main() {
 		}
 		fmt.Printf("\n  %.1f GFLOP/s, makespan %v, %d messages, %.1f MB sent\n",
 			res.GFLOPS, res.Makespan, res.Messages, float64(res.BytesSent)/1e6)
+		if res.Bundles > 0 {
+			fmt.Printf("  coalescing (%s): %d bundles carrying %d transfers, fill %.1f\n",
+				coal, res.Bundles, res.Segments, res.BundleFill())
+		}
 		if tr != nil {
 			f, err := os.Create(*traceOut)
 			if err != nil {
@@ -156,11 +165,12 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		opts := castencil.ExecOptions{Workers: *workers, Sched: s, Policy: pol}
+		opts := castencil.ExecOptions{Workers: *workers, Sched: s, Policy: pol, Coalesce: coal}
 		var tr *castencil.Trace
 		if *traceOut != "" {
 			tr = castencil.NewTrace()
 			opts.Trace = tr
+			opts.TraceComm = true
 		}
 		res, err := castencil.RunReal(variant, cfg, opts)
 		if err != nil {
@@ -168,6 +178,10 @@ func main() {
 		}
 		fmt.Printf("%s real run (%s): %d nodes x %d workers, elapsed %v, %d messages, %.1f MB sent\n",
 			variant, s, *nodes, *workers, res.Exec.Elapsed, res.Exec.Messages, float64(res.Exec.BytesSent)/1e6)
+		if res.Exec.BundlesSent > 0 {
+			fmt.Printf("  coalescing (%s): %d bundles carrying %d transfers, fill %.1f\n",
+				coal, res.Exec.BundlesSent, res.Exec.BundleSegments, res.Exec.BundleFill())
+		}
 		if s == castencil.WorkStealing {
 			hits, steals, parks := 0, 0, 0
 			for n := range res.Exec.NodeLocalHits {

@@ -56,16 +56,37 @@ func main() {
 			continue
 		}
 		events := tr.Node(nd)
-		st := trace.Summarize(events, cores)
+		// Comm-goroutine events live on the core one past the compute
+		// cores; statistics must not let them pollute task occupancy.
+		compute, comm := trace.SplitComm(events)
+		computeCores := cores
+		if len(comm) > 0 {
+			computeCores = 0
+			for _, e := range compute {
+				if int(e.Core) >= computeCores {
+					computeCores = int(e.Core) + 1
+				}
+			}
+		}
+		st := trace.Summarize(compute, computeCores)
 		fmt.Printf("== node %d: %d tasks, span %v, occupancy %.0f%% ==\n",
 			nd, st.Tasks, st.Span.Round(time.Microsecond), 100*st.Occupancy)
 		for kind, med := range st.MedianByKind {
 			fmt.Printf("  %-9s x%-5d median %v\n", kind, st.CountByKind[kind], med.Round(time.Microsecond))
 		}
 		fmt.Println("  core  tasks  stolen  busy        util")
-		for _, cs := range trace.SummarizeCores(events, cores) {
+		for _, cs := range trace.SummarizeCores(compute, computeCores) {
 			fmt.Printf("  %4d  %5d  %6d  %-10v  %3.0f%%\n",
 				cs.Core, cs.Tasks, cs.Stolen, cs.Busy.Round(time.Microsecond), 100*cs.Util)
+		}
+		if len(comm) > 0 {
+			cs := trace.SummarizeComm(comm)
+			util := 0.0
+			if st.Span > 0 {
+				util = float64(cs.Busy) / float64(st.Span)
+			}
+			fmt.Printf("  comm  %d wire msgs, %d transfers, %d bytes, busy %v, util %.0f%%\n",
+				cs.Wire, cs.Transfers, cs.Bytes, cs.Busy.Round(time.Microsecond), 100*util)
 		}
 		fmt.Print(trace.Gantt(events, cores, trace.GanttConfig{Width: *width}))
 		fmt.Println()

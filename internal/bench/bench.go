@@ -99,6 +99,9 @@ type Params struct {
 	// Sched filters the real-runtime scheduler comparison to one named
 	// scheduler ("steal", "fifo", "lifo", "priority"); empty runs them all.
 	Sched string
+	// Coalesce filters the halo-coalescing ablation to one mode ("off",
+	// "step", "auto"); empty runs the full off-vs-step comparison.
+	Coalesce string
 }
 
 // PaperParams returns the paper's exact experimental configuration.

@@ -91,7 +91,11 @@ func BuildGraph(v Variant, cfg Config) (*ptg.Graph, error) {
 					Node:     inf.node,
 					Kind:     bd.kind(inf, t),
 					Priority: bd.priority(inf, t),
-					Hint:     bd.hint(inf, t),
+					// The iteration index is the exchange epoch: all halo
+					// payloads a node produces at one iteration toward one
+					// neighbor may ride a single coalesced bundle.
+					Epoch: int32(t),
+					Hint:  bd.hint(inf, t),
 				}
 				if cfg.WithBodies {
 					task.Run = bd.body(inf, t)

@@ -100,6 +100,9 @@ type SimOptions struct {
 	// (all nodes when TraceNode < 0).
 	Trace     *trace.Trace
 	TraceNode int32
+	// Coalesce aggregates per-epoch halo payloads into per-neighbor
+	// bundles (see runtime.Options.Coalesce for the modes).
+	Coalesce ptg.CoalesceMode
 }
 
 // SimResult reports a simulated run.
@@ -108,10 +111,23 @@ type SimResult struct {
 	GFLOPS    float64 // at the paper's 9*N^2*steps accounting
 	Messages  int
 	BytesSent int
+	// Bundles and Segments count coalesced wire messages and the member
+	// transfers they carried (zero when coalescing is off).
+	Bundles  int
+	Segments int
 	// CommBusy is each node's communication-thread busy time; divide by
 	// Makespan for comm-thread occupancy.
 	CommBusy []time.Duration
 	Sim      *desim.Result
+}
+
+// BundleFill returns the mean member transfers per coalesced bundle (0
+// when none were sent).
+func (r *SimResult) BundleFill() float64 {
+	if r.Bundles == 0 {
+		return 0
+	}
+	return float64(r.Segments) / float64(r.Bundles)
 }
 
 // CostModel prices stencil tasks with the machine's kernel model. Following
@@ -177,6 +193,7 @@ func Simulate(v Variant, cfg Config, opts SimOptions) (*SimResult, error) {
 		Policy:    policy,
 		Trace:     opts.Trace,
 		TraceNode: opts.TraceNode,
+		Coalesce:  opts.Coalesce,
 	})
 	if err != nil {
 		return nil, err
@@ -194,6 +211,8 @@ func Simulate(v Variant, cfg Config, opts SimOptions) (*SimResult, error) {
 		GFLOPS:    flops / res.Makespan.Seconds() / 1e9,
 		Messages:  res.Messages,
 		BytesSent: res.BytesSent,
+		Bundles:   res.Bundles,
+		Segments:  res.Segments,
 		CommBusy:  busy,
 		Sim:       res,
 	}, nil

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"castencil/internal/grid"
+	"castencil/internal/ptg"
 	"castencil/internal/runtime"
 )
 
@@ -18,16 +19,22 @@ func schedVariants() []string {
 // runSched executes a variant under one named scheduler and worker count.
 func runSched(t *testing.T, v Variant, cfg Config, sched string, workers int) *RealResult {
 	t.Helper()
+	return runSchedCoalesce(t, v, cfg, sched, workers, ptg.CoalesceOff)
+}
+
+// runSchedCoalesce is runSched with an explicit halo-coalescing mode.
+func runSchedCoalesce(t *testing.T, v Variant, cfg Config, sched string, workers int, coal ptg.CoalesceMode) *RealResult {
+	t.Helper()
 	s, p, err := runtime.ParseSched(sched)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunReal(v, cfg, runtime.Options{Workers: workers, Sched: s, Policy: p})
+	res, err := RunReal(v, cfg, runtime.Options{Workers: workers, Sched: s, Policy: p, Coalesce: coal})
 	if err != nil {
-		t.Fatalf("%s w=%d: %v", sched, workers, err)
+		t.Fatalf("%s w=%d coalesce=%v: %v", sched, workers, coal, err)
 	}
 	if res.Exec.Dropped != 0 {
-		t.Fatalf("%s w=%d: dropped %d transfers", sched, workers, res.Exec.Dropped)
+		t.Fatalf("%s w=%d coalesce=%v: dropped %d transfers", sched, workers, coal, res.Exec.Dropped)
 	}
 	return res
 }
@@ -55,9 +62,12 @@ func assertGridsBitwiseEqual(t *testing.T, label string, want, got *grid.Tile) {
 
 // TestSchedulerDeterminism is the cross-scheduler determinism suite: the
 // Base and CA pipelines, run under every scheduler at 1, 2 and 4 workers
-// per node, must produce bitwise-identical grids with zero dropped
-// transfers. The reference is the shared FIFO queue with one worker — the
-// most sequential schedule the runtime can produce.
+// per node and with halo coalescing both off and on, must produce
+// bitwise-identical grids with zero dropped transfers. The reference is the
+// shared FIFO queue with one worker and point-to-point delivery — the most
+// sequential schedule the runtime can produce. Coalescing rides in the
+// sweep because it must be invisible to numerics: it reorders and batches
+// message traffic but never changes any task's inputs.
 func TestSchedulerDeterminism(t *testing.T) {
 	cases := []struct {
 		name string
@@ -70,14 +80,16 @@ func TestSchedulerDeterminism(t *testing.T) {
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			ref := runSched(t, c.v, c.cfg, "fifo", 1)
-			for _, sched := range schedVariants() {
-				for _, workers := range []int{1, 2, 4} {
-					if sched == "fifo" && workers == 1 {
-						continue // that is the reference itself
+			for _, coal := range []ptg.CoalesceMode{ptg.CoalesceOff, ptg.CoalesceStep} {
+				for _, sched := range schedVariants() {
+					for _, workers := range []int{1, 2, 4} {
+						if sched == "fifo" && workers == 1 && coal == ptg.CoalesceOff {
+							continue // that is the reference itself
+						}
+						label := fmt.Sprintf("%s w=%d coalesce=%v", sched, workers, coal)
+						got := runSchedCoalesce(t, c.v, c.cfg, sched, workers, coal)
+						assertGridsBitwiseEqual(t, label, ref.Grid, got.Grid)
 					}
-					label := fmt.Sprintf("%s w=%d", sched, workers)
-					got := runSched(t, c.v, c.cfg, sched, workers)
-					assertGridsBitwiseEqual(t, label, ref.Grid, got.Grid)
 				}
 			}
 		})

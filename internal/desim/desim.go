@@ -42,6 +42,14 @@ type Options struct {
 	// large runs are expensive.
 	Trace     *trace.Trace
 	TraceNode int32
+	// Coalesce selects halo-bundle aggregation, mirroring the real
+	// runtime: all cross-node payloads sharing a (src node, dst node,
+	// epoch) triple travel as one wire message, costing one NIC occupancy
+	// per side and one wire latency instead of one per dependency.
+	// CoalesceStep fails the run when the graph does not admit a
+	// deadlock-free bundle plan; CoalesceAuto silently falls back to
+	// point-to-point delivery.
+	Coalesce ptg.CoalesceMode
 }
 
 // Policy mirrors the real runtime's scheduling disciplines.
@@ -60,7 +68,20 @@ type Result struct {
 	// Messages and BytesSent mirror the fabric counters.
 	Messages  int
 	BytesSent int
-	Tasks     int
+	// Bundles and Segments mirror the fabric's coalescing counters: wire
+	// messages that were halo bundles and the member transfers they carried.
+	Bundles  int
+	Segments int
+	Tasks    int
+}
+
+// BundleFill returns the mean member transfers per bundle (0 when no
+// bundles were sent) — the aggregation factor coalescing achieved.
+func (r *Result) BundleFill() float64 {
+	if r.Bundles == 0 {
+		return 0
+	}
+	return float64(r.Segments) / float64(r.Bundles)
 }
 
 // Occupancy returns the average compute-core utilization of a node.
@@ -76,13 +97,17 @@ type evKind uint8
 const (
 	evTaskDone evKind = iota
 	evMsgArrive
+	// evBundleArrive delivers a coalesced halo bundle: one event satisfies
+	// every member dependency at the same arrival time (task holds the
+	// bundle index instead of a task index).
+	evBundleArrive
 )
 
 type event struct {
 	at   time.Duration
 	seq  int64
 	kind evKind
-	task int32 // finished task or message's consumer task
+	task int32 // finished task, message's consumer task, or bundle index
 	node int32 // node concerned
 	core int32
 }
@@ -151,6 +176,12 @@ type sim struct {
 	pending []int32
 	ready   []time.Duration
 	done    int
+	// Bundle plan (nil when coalescing is off or the graph has no cross
+	// deps): bundles is the plan, bundleRem the per-bundle countdown of
+	// members not yet produced, depBundle maps task<<32|dep to its bundle.
+	bundles   []ptg.Bundle
+	bundleRem []int32
+	depBundle map[int64]int32
 }
 
 // Run simulates the graph and returns the makespan and statistics.
@@ -185,6 +216,9 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 	for i := range g.Tasks {
 		s.pending[i] = int32(len(g.Tasks[i].Deps))
 	}
+	if err := s.planBundles(); err != nil {
+		return nil, err
+	}
 	for _, r := range g.Roots() {
 		s.taskReady(r, 0)
 	}
@@ -208,6 +242,10 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 			}
 		case evMsgArrive:
 			s.satisfy(ev.task, ev.at)
+		case evBundleArrive:
+			for _, m := range s.bundles[ev.task].Members {
+				s.satisfy(m.Task, ev.at)
+			}
 		}
 	}
 	if s.done != len(g.Tasks) {
@@ -224,8 +262,39 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 	if opts.Fabric != nil {
 		res.Messages = opts.Fabric.Messages
 		res.BytesSent = opts.Fabric.BytesSent
+		res.Bundles = opts.Fabric.Bundles
+		res.Segments = opts.Fabric.Segments
 	}
 	return res, nil
+}
+
+// planBundles mirrors the real runtime's coalescing plan: resolve
+// Options.Coalesce against the graph and materialize the per-bundle member
+// countdowns and the dependency-to-bundle index.
+func (s *sim) planBundles() error {
+	if s.opts.Coalesce == ptg.CoalesceOff {
+		return nil
+	}
+	plan, err := s.g.Bundles()
+	if err != nil {
+		if s.opts.Coalesce == ptg.CoalesceAuto {
+			return nil
+		}
+		return err
+	}
+	if len(plan) == 0 {
+		return nil
+	}
+	s.bundles = plan
+	s.bundleRem = make([]int32, len(plan))
+	s.depBundle = make(map[int64]int32, len(plan))
+	for i := range plan {
+		s.bundleRem[i] = int32(len(plan[i].Members))
+		for _, m := range plan[i].Members {
+			s.depBundle[int64(m.Task)<<32|int64(m.Dep)] = int32(i)
+		}
+	}
+	return nil
 }
 
 // taskReady is called when a task's last input arrived at time at.
@@ -273,6 +342,19 @@ func (s *sim) release(idx int32, at time.Duration) {
 			}
 			if c.Node == t.Node {
 				s.satisfy(sIdx, at)
+				continue
+			}
+			if bi, ok := s.depBundle[int64(sIdx)<<32|int64(di)]; ok {
+				// The bundle leaves when its last member is produced;
+				// events process in time order, so the decrement that
+				// reaches zero carries the departure time.
+				s.bundleRem[bi]--
+				if s.bundleRem[bi] == 0 {
+					b := &s.bundles[bi]
+					arrive := s.opts.Fabric.SendBundle(int(b.Src), int(b.Dst), b.WireBytes(), len(b.Members), at)
+					s.seq++
+					heap.Push(&s.events, event{at: arrive, seq: s.seq, kind: evBundleArrive, task: bi, node: b.Dst})
+				}
 				continue
 			}
 			arrive := s.opts.Fabric.Send(int(t.Node), int(c.Node), d.Bytes, at)

@@ -60,6 +60,12 @@ type Fabric struct {
 	// Stats
 	Messages  int
 	BytesSent int
+	// Bundles counts the wire messages that were coalesced halo bundles
+	// (each also counted once in Messages); Segments totals the member
+	// transfers those bundles carried. Segments/Bundles is the mean bundle
+	// fill — the aggregation factor the coalescing optimization achieves.
+	Bundles  int
+	Segments int
 }
 
 // NewFabric creates a fabric connecting n nodes with the given network model.
@@ -116,6 +122,21 @@ func (f *Fabric) Send(src, dst int, bytes int, ready time.Duration) time.Duratio
 	return done
 }
 
+// SendBundle schedules one coalesced halo bundle carrying segments member
+// payloads in bytes total wire bytes. The fabric charges exactly one NIC
+// occupancy per side and one wire latency for the whole bundle — the
+// communication-avoiding payoff: the per-message overhead that would have
+// been paid segments times is paid once.
+func (f *Fabric) SendBundle(src, dst int, bytes, segments int, ready time.Duration) time.Duration {
+	if src == dst {
+		return ready
+	}
+	done := f.Send(src, dst, bytes, ready)
+	f.Bundles++
+	f.Segments += segments
+	return done
+}
+
 // CommBusy returns the accumulated communication-thread busy time of a
 // node — how long its dedicated comm thread spent packing, matching and
 // streaming messages. Comparing it to the makespan shows whether a run is
@@ -130,6 +151,8 @@ func (f *Fabric) Reset() {
 	}
 	f.Messages = 0
 	f.BytesSent = 0
+	f.Bundles = 0
+	f.Segments = 0
 }
 
 func (f *Fabric) String() string {

@@ -168,3 +168,87 @@ func TestSerializationIncludesOverhead(t *testing.T) {
 		t.Error("payload must add to overhead")
 	}
 }
+
+// TestFabricReceiverCommBusy pins the two-sided accounting: a message
+// occupies the destination node's communication thread for the same
+// serialization time as the sender's, and a busy receiver delays delivery
+// even when the sender and wire are idle.
+func TestFabricReceiverCommBusy(t *testing.T) {
+	net := machine.NaCL().Net
+	f := NewFabric(net, 3)
+	bytes := 1 << 18
+	ser := f.Serialization(bytes)
+
+	f.Send(0, 2, bytes, 0)
+	if got := f.CommBusy(2); got != ser {
+		t.Errorf("receiver commBusy = %v, want %v (one serialization)", got, ser)
+	}
+	if got := f.CommBusy(0); got != ser {
+		t.Errorf("sender commBusy = %v, want %v", got, ser)
+	}
+	if got := f.CommBusy(1); got != 0 {
+		t.Errorf("bystander commBusy = %v, want 0", got)
+	}
+
+	// A second message from a different sender lands on node 2 while it is
+	// still streaming the first: delivery must wait for the receiver NIC,
+	// and the receiver's busy time must accumulate both.
+	done := f.Send(1, 2, bytes, 0)
+	first := ser + net.Latency + ser
+	if want := first + ser; done != want {
+		t.Errorf("second delivery at %v, want %v (queued behind the receiver NIC)", done, want)
+	}
+	if got := f.CommBusy(2); got != 2*ser {
+		t.Errorf("receiver commBusy after two messages = %v, want %v", got, 2*ser)
+	}
+}
+
+// TestFabricSendBundle checks the bundle path: one NIC occupancy per side
+// and one wire latency for the whole bundle, with the coalescing counters
+// recording the aggregation and Reset clearing them.
+func TestFabricSendBundle(t *testing.T) {
+	net := machine.NaCL().Net
+	f := NewFabric(net, 2)
+	bytes, segs := 1<<16, 9
+	done := f.SendBundle(0, 1, bytes, segs, 0)
+	ser := f.Serialization(bytes)
+	if want := 2*ser + net.Latency; done != want {
+		t.Errorf("bundle delivered at %v, want %v (single-message cost)", done, want)
+	}
+	if f.Messages != 1 || f.Bundles != 1 || f.Segments != segs || f.BytesSent != bytes {
+		t.Errorf("counters = %d msgs, %d bundles, %d segments, %d bytes; want 1, 1, %d, %d",
+			f.Messages, f.Bundles, f.Segments, f.BytesSent, segs, bytes)
+	}
+	if got := f.CommBusy(1); got != ser {
+		t.Errorf("receiver commBusy = %v, want one bundle serialization %v", got, ser)
+	}
+	// The bundle must be cheaper than its members sent point-to-point:
+	// per-message overhead is paid once instead of segs times.
+	f2 := NewFabric(net, 2)
+	var p2p time.Duration
+	for i := 0; i < segs; i++ {
+		p2p = f2.Send(0, 1, bytes/segs, 0) // all ready at once; the NIC serializes them
+	}
+	if done >= p2p {
+		t.Errorf("bundle delivered at %v, not faster than %d point-to-point messages (%v)", done, segs, p2p)
+	}
+	if f2.Bundles != 0 || f2.Segments != 0 {
+		t.Errorf("point-to-point sends touched bundle counters: %d/%d", f2.Bundles, f2.Segments)
+	}
+
+	f.Reset()
+	if f.Messages != 0 || f.Bundles != 0 || f.Segments != 0 || f.BytesSent != 0 {
+		t.Errorf("Reset left counters %d/%d/%d/%d", f.Messages, f.Bundles, f.Segments, f.BytesSent)
+	}
+	if f.CommBusy(0) != 0 || f.CommBusy(1) != 0 {
+		t.Error("Reset left commBusy nonzero")
+	}
+
+	// Same-node bundles are free and uncounted, like same-node sends.
+	if got := f.SendBundle(1, 1, bytes, segs, 3*time.Millisecond); got != 3*time.Millisecond {
+		t.Errorf("same-node bundle should be free, got %v", got)
+	}
+	if f.Bundles != 0 {
+		t.Error("same-node bundle counted")
+	}
+}

@@ -35,10 +35,13 @@ const (
 	KindInit Kind = iota
 	KindInterior
 	KindBoundary
+	// KindComm labels communication-goroutine activity in traces (packing
+	// and fan-out on the dedicated comm thread); graph tasks never carry it.
+	KindComm
 	NumKinds
 )
 
-var kindNames = [NumKinds]string{"init", "interior", "boundary"}
+var kindNames = [NumKinds]string{"init", "interior", "boundary", "comm"}
 
 func (k Kind) String() string {
 	if k >= NumKinds {
@@ -129,10 +132,16 @@ type Task struct {
 	Node     int32
 	Kind     Kind
 	Priority int32 // higher runs earlier when schedulers must choose
-	Hint     CostHint
-	Deps     []Dep
-	Succs    []int32 // consumer task indices, filled by Build
-	Run      func(env Env)
+	// Epoch is the task's logical exchange epoch (the iteration index for
+	// the stencil graphs). Cross-node payloads produced by tasks of one
+	// node in the same epoch toward one destination may be coalesced into
+	// a single halo bundle (see Graph.Bundles); graphs that leave Epoch at
+	// zero everywhere simply do not admit a bundle plan.
+	Epoch int32
+	Hint  CostHint
+	Deps  []Dep
+	Succs []int32 // consumer task indices, filled by Build
+	Run   func(env Env)
 }
 
 // Graph is an immutable task graph over a fixed set of nodes.

@@ -1,0 +1,293 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"castencil/internal/ptg"
+)
+
+// This file implements the coalesced halo-exchange transport: instead of one
+// message per cross-node dependency, all payloads a node produces in one
+// epoch toward one destination travel as a single *halo bundle* over a
+// persistent per-(src,dst) communication lane. The bundle plan comes from
+// ptg.Bundles; the wire format is
+//
+//	[u32 count] [u32 len_0] ... [u32 len_{count-1}] [payload_0] ... [payload_{count-1}]
+//
+// (little-endian framing, segments in deterministic plan order). The sender
+// packs every member into a lane buffer once the last member is produced;
+// the receiver fans segments out to their per-slot destinations in one inbox
+// delivery and releases all dependent tasks in one batched successor
+// release. Lanes pre-negotiate size-classed reusable buffers at startup, so
+// the steady-state send/receive path performs no heap allocation.
+
+// laneDepth is the number of wire buffers a lane retains. Two bundles of one
+// lane can be in flight at once (the reverse-flow throttling argument that
+// sizes the slot rings at depth 2 applies verbatim to bundles), so two
+// buffers make the steady state allocation-free.
+const laneDepth = 2
+
+// commLane is a persistent communication channel between one ordered node
+// pair: a small free list of preallocated wire buffers sized for the largest
+// bundle the pair exchanges. Get/put race only between the two endpoint comm
+// goroutines, so a mutex-protected stack is plenty.
+type commLane struct {
+	src, dst int32
+	maxWire  int // wire size of the pair's largest bundle
+	mu       sync.Mutex
+	free     [][]byte
+}
+
+func newCommLane(src, dst int32, maxWire int) *commLane {
+	l := &commLane{src: src, dst: dst, maxWire: maxWire}
+	for i := 0; i < laneDepth; i++ {
+		l.free = append(l.free, GetBuf(maxWire)[:0])
+	}
+	return l
+}
+
+// get returns an empty wire buffer with capacity for the lane's largest
+// bundle. If both preallocated buffers are in flight (a burst, or a receiver
+// that has not returned one yet) it falls back to the shared arena.
+func (l *commLane) get() []byte {
+	l.mu.Lock()
+	if n := len(l.free) - 1; n >= 0 {
+		b := l.free[n]
+		l.free[n] = nil
+		l.free = l.free[:n]
+		l.mu.Unlock()
+		return b
+	}
+	l.mu.Unlock()
+	return GetBuf(l.maxWire)[:0]
+}
+
+// put returns a wire buffer to the lane after its segments were fanned out.
+// Buffers beyond the lane depth (or too small to serve a future get) drain
+// to the shared arena instead.
+func (l *commLane) put(b []byte) {
+	if cap(b) < l.maxWire {
+		PutBuf(b)
+		return
+	}
+	l.mu.Lock()
+	if len(l.free) < laneDepth {
+		l.free = append(l.free, b[:0])
+		l.mu.Unlock()
+		return
+	}
+	l.mu.Unlock()
+	PutBuf(b)
+}
+
+// execBundle is the runtime state of one planned bundle: the immutable plan
+// entry plus the countdown of members not yet produced. When remaining hits
+// zero the producing node's comm goroutine packs and sends the bundle.
+type execBundle struct {
+	src, dst  int32
+	members   []ptg.BundleMember
+	wireBytes int
+	lane      *commLane
+	remaining atomic.Int32
+}
+
+// planBundles resolves Options.Coalesce against the graph: CoalesceStep
+// requires a deadlock-free plan (and fails the run otherwise), CoalesceAuto
+// falls back to point-to-point delivery when the graph does not admit one.
+// With a plan in hand it materializes the per-bundle countdowns, the
+// per-dependency bundle index table used on the completion hot path, and the
+// persistent lanes with their preallocated wire buffers.
+func (ex *executor) planBundles() error {
+	if ex.opts.Coalesce == ptg.CoalesceOff {
+		return nil
+	}
+	plan, err := ex.g.Bundles()
+	if err != nil {
+		if ex.opts.Coalesce == ptg.CoalesceAuto {
+			return nil
+		}
+		return err
+	}
+	if len(plan) == 0 {
+		return nil
+	}
+	lanes := map[uint64]*commLane{}
+	laneMax := map[uint64]int{}
+	laneKey := func(src, dst int32) uint64 { return uint64(uint32(src))<<32 | uint64(uint32(dst)) }
+	for i := range plan {
+		b := &plan[i]
+		k := laneKey(b.Src, b.Dst)
+		if w := b.WireBytes(); w > laneMax[k] {
+			laneMax[k] = w
+		}
+	}
+	ex.bundles = make([]execBundle, len(plan))
+	ex.depBundle = make([][]int32, len(ex.g.Tasks))
+	for i := range ex.g.Tasks {
+		if n := len(ex.g.Tasks[i].Deps); n > 0 {
+			row := make([]int32, n)
+			for j := range row {
+				row[j] = -1
+			}
+			ex.depBundle[i] = row
+		}
+	}
+	for i := range plan {
+		b := &plan[i]
+		k := laneKey(b.Src, b.Dst)
+		lane := lanes[k]
+		if lane == nil {
+			lane = newCommLane(b.Src, b.Dst, laneMax[k])
+			lanes[k] = lane
+		}
+		eb := &ex.bundles[i]
+		eb.src, eb.dst = b.Src, b.Dst
+		eb.members = b.Members
+		eb.wireBytes = b.WireBytes()
+		eb.lane = lane
+		eb.remaining.Store(int32(len(b.Members)))
+		for _, m := range b.Members {
+			ex.depBundle[m.Task][m.Dep] = int32(i)
+		}
+	}
+	return nil
+}
+
+// packBundle serializes every member payload of a bundle into buf (which
+// must be empty, with capacity preallocated to the bundle's wire size) using
+// the length-prefixed segment format. Each member's Pack closure is drained
+// and its returned buffer immediately recycled into the shared arena: under
+// coalescing the wire carries a copy, so the producer-side payload buffer is
+// free the moment it is packed (see Options.Coalesce for the ownership
+// contract).
+func packBundle(buf []byte, e ptg.Env, tasks []ptg.Task, members []ptg.BundleMember) []byte {
+	hdr := 4 * (1 + len(members))
+	if cap(buf) >= hdr {
+		buf = buf[:hdr]
+	} else {
+		buf = append(buf[:0], make([]byte, hdr)...)
+	}
+	binary.LittleEndian.PutUint32(buf, uint32(len(members)))
+	for i, m := range members {
+		dep := &tasks[m.Task].Deps[m.Dep]
+		var data []byte
+		if dep.Pack != nil {
+			data = dep.Pack(e)
+		}
+		binary.LittleEndian.PutUint32(buf[4+4*i:], uint32(len(data)))
+		buf = append(buf, data...)
+		PutBuf(data)
+	}
+	return buf
+}
+
+// fanOutBundle decodes a bundle payload and deposits every segment with its
+// member's Unpack closure, in plan order. Each segment is first copied into
+// a fresh pooled buffer: consumers own (and later recycle) their payloads
+// individually, and a sub-slice of the wire buffer must never enter the
+// arena — its capacity aliases the sibling segments. The wire buffer itself
+// is untouched and returns to its lane at the caller.
+func fanOutBundle(e ptg.Env, tasks []ptg.Task, members []ptg.BundleMember, data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("runtime: bundle payload truncated (%d bytes)", len(data))
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if n != len(members) {
+		return fmt.Errorf("runtime: bundle carries %d segments, plan has %d members", n, len(members))
+	}
+	off := 4 * (1 + n)
+	if off > len(data) {
+		return fmt.Errorf("runtime: bundle segment table truncated")
+	}
+	for i, m := range members {
+		l := int(binary.LittleEndian.Uint32(data[4+4*i:]))
+		if off+l > len(data) {
+			return fmt.Errorf("runtime: bundle segment %d overruns payload", i)
+		}
+		seg := data[off : off+l]
+		off += l
+		dep := &tasks[m.Task].Deps[m.Dep]
+		if dep.Unpack == nil {
+			continue
+		}
+		cp := GetBuf(l)
+		copy(cp, seg)
+		dep.Unpack(e, cp)
+	}
+	return nil
+}
+
+// sendBundle packs a completed bundle into a lane buffer and ships it as one
+// wire message.
+func (ex *executor) sendBundle(e ptg.Env, nd *execNode, bi int32) (segs, bytes int) {
+	defer func() {
+		if r := recover(); r != nil {
+			ex.fail(fmt.Errorf("runtime: packing bundle %d->%d panicked: %v",
+				ex.bundles[bi].src, ex.bundles[bi].dst, r))
+		}
+	}()
+	b := &ex.bundles[bi]
+	buf := packBundle(b.lane.get(), e, ex.g.Tasks, b.members)
+	m := Message{Src: b.src, Dst: b.dst, Bundle: bi + 1, Data: buf}
+	ex.messages.Add(1)
+	ex.bytesSent.Add(int64(len(buf)))
+	ex.bundlesSent.Add(1)
+	ex.bundleSegments.Add(int64(len(b.members)))
+	if ex.opts.Intercept != nil {
+		ex.opts.Intercept(m, ex.deliver)
+	} else {
+		ex.deliver(m)
+	}
+	return len(b.members), len(buf)
+}
+
+// receiveBundle fans a bundle's segments out on the destination node,
+// returns the wire buffer to its lane, and releases every newly-ready
+// consumer in one batched enqueue.
+func (ex *executor) receiveBundle(nd *execNode, m Message) (segs, bytes int) {
+	defer func() {
+		if r := recover(); r != nil {
+			ex.fail(fmt.Errorf("runtime: unpacking bundle %d->%d panicked: %v", m.Src, m.Dst, r))
+		}
+	}()
+	b := &ex.bundles[m.Bundle-1]
+	if err := fanOutBundle(nd.env, ex.g.Tasks, b.members, m.Data); err != nil {
+		ex.fail(err)
+		return len(b.members), len(m.Data)
+	}
+	// All segments are copied out: the wire buffer can rejoin its lane
+	// before the consumers run, keeping the lane's free list warm.
+	bytes = len(m.Data)
+	b.lane.put(m.Data)
+	ready := nd.commReady[:0]
+	for _, mb := range b.members {
+		if atomic.AddInt32(&ex.pending[mb.Task], -1) == 0 {
+			ready = append(ready, mb.Task)
+		}
+	}
+	if len(ready) > 0 {
+		ex.enqueueBatch(nd, ready)
+	}
+	nd.commReady = ready[:0]
+	return len(b.members), bytes
+}
+
+// transfers returns the number of member payloads a queued send request
+// stands for — the unit Result.Dropped counts.
+func (ex *executor) reqTransfers(r sendReq) int64 {
+	if r.bundle != 0 {
+		return int64(len(ex.bundles[r.bundle-1].members))
+	}
+	return 1
+}
+
+// msgTransfers is reqTransfers for an in-flight message.
+func (ex *executor) msgTransfers(m Message) int64 {
+	if m.Bundle != 0 {
+		return int64(len(ex.bundles[m.Bundle-1].members))
+	}
+	return 1
+}

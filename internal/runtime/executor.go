@@ -18,12 +18,18 @@ import (
 )
 
 // Message is one inter-node transfer: the payload of a cross-node
-// dependency, addressed by consumer task and dependency index.
+// dependency, addressed by consumer task and dependency index — or, when
+// Bundle is nonzero, a coalesced halo bundle carrying many such payloads as
+// length-prefixed segments (see internal/runtime/coalesce.go for the wire
+// format).
 type Message struct {
 	Src, Dst int32
-	Task     int32 // consumer task index
-	Dep      int32 // index into the consumer's Deps
-	Data     []byte
+	Task     int32 // consumer task index (point-to-point only)
+	Dep      int32 // index into the consumer's Deps (point-to-point only)
+	// Bundle is the 1-based bundle id of a coalesced message; 0 marks an
+	// ordinary point-to-point transfer.
+	Bundle int32
+	Data   []byte
 }
 
 // Interceptor lets tests and examples wrap message delivery (to inject
@@ -44,8 +50,26 @@ type Options struct {
 	// shared queue's order under SharedQueue, the injection queue's
 	// order under WorkStealing.
 	Policy Policy
+	// Coalesce selects halo-bundle coalescing (default CoalesceOff). With
+	// CoalesceStep/CoalesceAuto, all cross-node payloads one node produces
+	// in one epoch toward one destination travel as a single message over a
+	// persistent communication lane (ptg.CoalesceStep fails the run when
+	// the graph's epochs do not admit a deadlock-free plan; ptg.CoalesceAuto
+	// falls back to point-to-point). Coalescing never changes numerics.
+	//
+	// Ownership contract: under coalescing the comm goroutine copies each
+	// packed payload into the bundle's wire buffer and immediately recycles
+	// the buffer returned by Dep.Pack into the arena (PutBuf). Pack
+	// implementations must therefore hand over ownership of their returned
+	// buffer — the same convention point-to-point receivers already apply.
+	Coalesce ptg.CoalesceMode
 	// Trace, when non-nil, receives one event per executed task.
 	Trace *trace.Trace
+	// TraceComm additionally records one trace.Event per wire message
+	// handled by each node's communication goroutine (Kind ptg.KindComm,
+	// core index Workers — one past the compute cores), carrying the
+	// transfer count and wire bytes. Requires Trace.
+	TraceComm bool
 	// Intercept, when non-nil, wraps every inter-node message.
 	Intercept Interceptor
 }
@@ -54,9 +78,14 @@ type Options struct {
 type Result struct {
 	Elapsed   time.Duration
 	Stores    []*Store // per-node stores, for gathering output data
-	Messages  int      // inter-node messages sent
+	Messages  int      // inter-node wire messages sent (a bundle counts once)
 	BytesSent int
-	Completed int
+	// BundlesSent counts coalesced messages among Messages; BundleSegments
+	// counts the member payloads they carried. Both are zero with
+	// coalescing off.
+	BundlesSent    int
+	BundleSegments int
+	Completed      int
 	// Dropped counts inter-node transfers discarded at shutdown: send
 	// requests never packed plus messages delivered or queued after the
 	// run finished. It is zero for a successful run (completion implies
@@ -76,9 +105,22 @@ type Result struct {
 	NodeParks     []int
 }
 
+// BundleFill returns the average number of member payloads per coalesced
+// message (0 when no bundles were sent). A fill equal to the neighbor-pair
+// dependency count means every exchange collapsed to one message.
+func (r *Result) BundleFill() float64 {
+	if r.BundlesSent == 0 {
+		return 0
+	}
+	return float64(r.BundleSegments) / float64(r.BundlesSent)
+}
+
 type sendReq struct {
-	task int32 // consumer task
+	task int32 // consumer task (point-to-point only)
 	dep  int32
+	// bundle is the 1-based id of a completed bundle to pack and send;
+	// 0 marks a point-to-point request.
+	bundle int32
 }
 
 type execNode struct {
@@ -105,6 +147,9 @@ type execNode struct {
 
 	sendQ chan sendReq
 	inbox chan Message
+	// commReady is the comm goroutine's scratch for batched successor
+	// release after a bundle fan-out (only that goroutine touches it).
+	commReady []int32
 }
 
 // wake bumps the wake sequence and wakes up to n parked workers. Called by
@@ -121,12 +166,18 @@ func (nd *execNode) wake(n int) {
 }
 
 type executor struct {
-	g       *ptg.Graph
-	opts    Options
-	steal   bool // opts.Sched == WorkStealing
-	nodes   []*execNode
-	pending []int32 // remaining dep count per task (atomic)
-	t0      time.Time
+	g         *ptg.Graph
+	opts      Options
+	steal     bool // opts.Sched == WorkStealing
+	traceComm bool // opts.Trace != nil && opts.TraceComm
+	nodes     []*execNode
+	pending   []int32 // remaining dep count per task (atomic)
+	t0        time.Time
+
+	// Coalescing state (nil/empty with coalescing off): the bundle plan,
+	// and per task/dep the bundle index (-1 = unbundled). See coalesce.go.
+	bundles   []execBundle
+	depBundle [][]int32
 
 	nodeTasks []atomic.Int64
 	nodeBusy  []atomic.Int64 // nanoseconds
@@ -136,9 +187,11 @@ type executor struct {
 	done      atomic.Bool
 	finished  chan struct{}
 
-	messages  atomic.Int64
-	bytesSent atomic.Int64
-	dropped   atomic.Int64
+	messages       atomic.Int64
+	bytesSent      atomic.Int64
+	bundlesSent    atomic.Int64
+	bundleSegments atomic.Int64
+	dropped        atomic.Int64
 
 	errMu  sync.Mutex
 	runErr error
@@ -172,11 +225,15 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 		g:         g,
 		opts:      opts,
 		steal:     opts.Sched == WorkStealing,
+		traceComm: opts.Trace != nil && opts.TraceComm,
 		pending:   make([]int32, len(g.Tasks)),
 		total:     int64(len(g.Tasks)),
 		finished:  make(chan struct{}),
 		nodeTasks: make([]atomic.Int64, g.NumNodes),
 		nodeBusy:  make([]atomic.Int64, g.NumNodes),
+	}
+	if err := ex.planBundles(); err != nil {
+		return nil, err
 	}
 
 	// Size inboxes and send queues so channel operations never block
@@ -220,6 +277,15 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 		nd.cond = sync.NewCond(&nd.mu)
 		ex.nodes[n] = nd
 	}
+	// Size each node's fan-out scratch for its largest inbound bundle, so
+	// the batched release never grows it mid-run.
+	for i := range ex.bundles {
+		b := &ex.bundles[i]
+		nd := ex.nodes[b.dst]
+		if cap(nd.commReady) < len(b.members) {
+			nd.commReady = make([]int32, 0, len(b.members))
+		}
+	}
 
 	if ex.total == 0 {
 		return &Result{Stores: ex.stores()}, nil
@@ -249,17 +315,28 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 	// Final sweep: workers may post send requests after their node's comm
 	// goroutine has drained and exited (queued tasks keep running after a
 	// failure). With all goroutines gone the leftovers sit in the buffered
-	// channels; count them so Dropped is exact.
+	// channels; count them so Dropped is exact. A queued bundle stands for
+	// all of its member transfers.
 	for _, nd := range ex.nodes {
 		for drained := true; drained; {
 			select {
-			case <-nd.sendQ:
-				ex.dropped.Add(1)
-			case <-nd.inbox:
-				ex.dropped.Add(1)
+			case r := <-nd.sendQ:
+				ex.dropped.Add(ex.reqTransfers(r))
+			case m := <-nd.inbox:
+				ex.dropped.Add(ex.msgTransfers(m))
 			default:
 				drained = false
 			}
+		}
+	}
+	// Partially filled bundles hold produced payloads that never earned a
+	// send request (the bundle waits for its last member); count them too,
+	// so Dropped keeps the invariant produced = delivered + dropped on
+	// failed runs. Workers are gone, so the countdowns are settled.
+	for i := range ex.bundles {
+		b := &ex.bundles[i]
+		if rem := b.remaining.Load(); rem > 0 && rem < int32(len(b.members)) {
+			ex.dropped.Add(int64(len(b.members)) - int64(rem))
 		}
 	}
 
@@ -267,12 +344,14 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 	err := ex.runErr
 	ex.errMu.Unlock()
 	res := &Result{
-		Elapsed:       elapsed,
-		Stores:        ex.stores(),
-		Messages:      int(ex.messages.Load()),
-		BytesSent:     int(ex.bytesSent.Load()),
-		Completed:     int(ex.completed.Load()),
-		Dropped:       int(ex.dropped.Load()),
+		Elapsed:        elapsed,
+		Stores:         ex.stores(),
+		Messages:       int(ex.messages.Load()),
+		BytesSent:      int(ex.bytesSent.Load()),
+		BundlesSent:    int(ex.bundlesSent.Load()),
+		BundleSegments: int(ex.bundleSegments.Load()),
+		Completed:      int(ex.completed.Load()),
+		Dropped:        int(ex.dropped.Load()),
 		NodeTasks:     make([]int, g.NumNodes),
 		NodeBusy:      make([]time.Duration, g.NumNodes),
 		NodeLocalHits: make([]int, g.NumNodes),
@@ -465,7 +544,9 @@ func (ex *executor) runTask(nd *execNode, core int32, idx int32, stolen bool, re
 
 	// Release successors: local deps are satisfied directly (newly ready
 	// tasks batched into one queue push below), cross-node deps are handed
-	// to the communication goroutine.
+	// to the communication goroutine. Under coalescing a cross dep only
+	// decrements its bundle's countdown; the completion that zeroes it
+	// posts one send request for the whole bundle.
 	for _, sIdx := range t.Succs {
 		s := &ex.g.Tasks[sIdx]
 		for dIdx := range s.Deps {
@@ -475,6 +556,11 @@ func (ex *executor) runTask(nd *execNode, core int32, idx int32, stolen bool, re
 			if s.Node == t.Node {
 				if atomic.AddInt32(&ex.pending[sIdx], -1) == 0 {
 					ready = append(ready, sIdx)
+				}
+			} else if ex.depBundle != nil && ex.depBundle[sIdx][dIdx] >= 0 {
+				bi := ex.depBundle[sIdx][dIdx]
+				if ex.bundles[bi].remaining.Add(-1) == 0 {
+					nd.sendQ <- sendReq{bundle: bi + 1}
 				}
 			} else {
 				nd.sendQ <- sendReq{task: sIdx, dep: int32(dIdx)}
@@ -520,17 +606,18 @@ func (ex *executor) comm(nd *execNode, wg *sync.WaitGroup) {
 		case req := <-nd.sendQ:
 			ex.send(e, nd, req)
 		case m := <-nd.inbox:
-			ex.receive(e, m)
+			ex.receive(nd, m)
 		case <-ex.finished:
 			// Drain anything already queued, counting the discards: a
 			// dropped transfer is data the accounting says moved (or was
-			// about to move) but that never reached its consumer.
+			// about to move) but that never reached its consumer. A bundle
+			// counts once per member payload it stands for.
 			for {
 				select {
-				case <-nd.sendQ:
-					ex.dropped.Add(1)
-				case <-nd.inbox:
-					ex.dropped.Add(1)
+				case r := <-nd.sendQ:
+					ex.dropped.Add(ex.reqTransfers(r))
+				case m := <-nd.inbox:
+					ex.dropped.Add(ex.msgTransfers(m))
 				default:
 					return
 				}
@@ -545,13 +632,39 @@ func (ex *executor) comm(nd *execNode, wg *sync.WaitGroup) {
 // inbox.
 func (ex *executor) deliver(m Message) {
 	if ex.done.Load() {
-		ex.dropped.Add(1)
+		ex.dropped.Add(ex.msgTransfers(m))
 		return
 	}
 	ex.nodes[m.Dst].inbox <- m
 }
 
+// send dispatches one send request — a coalesced bundle or a point-to-point
+// payload — and, when comm tracing is on, records the handling as a
+// KindComm event on the node's comm pseudo-core (index Workers).
 func (ex *executor) send(e ptg.Env, nd *execNode, req sendReq) {
+	var start time.Duration
+	if ex.traceComm {
+		start = time.Since(ex.t0)
+	}
+	var dst int32
+	var segs, bytes int
+	if req.bundle != 0 {
+		dst = ex.bundles[req.bundle-1].dst
+		segs, bytes = ex.sendBundle(e, nd, req.bundle-1)
+	} else {
+		dst = ex.g.Tasks[req.task].Node
+		segs, bytes = ex.sendOne(e, nd, req)
+	}
+	if ex.traceComm {
+		ex.opts.Trace.Record(trace.Event{
+			ID:   ptg.TaskID{Class: "send", I: int(dst), J: segs, K: int(req.bundle)},
+			Kind: ptg.KindComm, Node: nd.id, Core: int32(ex.opts.Workers),
+			Start: start, End: time.Since(ex.t0), Msgs: segs, Bytes: bytes,
+		})
+	}
+}
+
+func (ex *executor) sendOne(e ptg.Env, nd *execNode, req sendReq) (segs, bytes int) {
 	defer func() {
 		if r := recover(); r != nil {
 			ex.fail(fmt.Errorf("runtime: pack for %v panicked: %v", ex.g.Tasks[req.task].ID, r))
@@ -571,9 +684,32 @@ func (ex *executor) send(e ptg.Env, nd *execNode, req sendReq) {
 	} else {
 		ex.deliver(m)
 	}
+	return 1, len(data)
 }
 
-func (ex *executor) receive(e ptg.Env, m Message) {
+// receive dispatches one inbound message, with the same optional comm
+// tracing as send.
+func (ex *executor) receive(nd *execNode, m Message) {
+	var start time.Duration
+	if ex.traceComm {
+		start = time.Since(ex.t0)
+	}
+	var segs, bytes int
+	if m.Bundle != 0 {
+		segs, bytes = ex.receiveBundle(nd, m)
+	} else {
+		segs, bytes = ex.receiveOne(nd, m)
+	}
+	if ex.traceComm {
+		ex.opts.Trace.Record(trace.Event{
+			ID:   ptg.TaskID{Class: "recv", I: int(m.Src), J: segs, K: int(m.Bundle)},
+			Kind: ptg.KindComm, Node: nd.id, Core: int32(ex.opts.Workers),
+			Start: start, End: time.Since(ex.t0), Msgs: segs, Bytes: bytes,
+		})
+	}
+}
+
+func (ex *executor) receiveOne(nd *execNode, m Message) (segs, bytes int) {
 	defer func() {
 		if r := recover(); r != nil {
 			ex.fail(fmt.Errorf("runtime: unpack for %v panicked: %v", ex.g.Tasks[m.Task].ID, r))
@@ -581,7 +717,8 @@ func (ex *executor) receive(e ptg.Env, m Message) {
 	}()
 	dep := &ex.g.Tasks[m.Task].Deps[m.Dep]
 	if dep.Unpack != nil {
-		dep.Unpack(e, m.Data)
+		dep.Unpack(nd.env, m.Data)
 	}
 	ex.satisfy(m.Task)
+	return 1, len(m.Data)
 }

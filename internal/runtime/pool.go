@@ -18,11 +18,14 @@ import (
 // sync.Pool's GC-clearing makes allocation behavior non-deterministic under
 // testing.AllocsPerRun.
 
-// poolClasses covers capacities up to 1<<(poolClasses-1+poolMinBits) bytes;
-// larger buffers bypass the pool entirely.
+// poolClasses covers capacities up to 1<<(poolClasses-1+poolMinBits) bytes
+// (currently 1 GiB); larger buffers bypass the pool entirely. The top classes
+// exist for coalesced halo bundles, whose wire buffers aggregate every
+// per-dependency payload of a (src node, dst node, epoch) triple and so run
+// an order of magnitude larger than any single halo message.
 const (
 	poolMinBits  = 6 // smallest class: 64 elements
-	poolClasses  = 22
+	poolClasses  = 25
 	poolMaxClass = poolClasses - 1
 	// poolMaxFree caps retained buffers per class so a burst cannot pin
 	// memory forever; beyond it, Put drops the buffer for the GC.

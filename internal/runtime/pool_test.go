@@ -133,3 +133,21 @@ func TestSlotRoundTripZeroAlloc(t *testing.T) {
 		t.Errorf("slot round trip: %v allocs per run, want 0", n)
 	}
 }
+
+// TestPoolBundleClasses pins the arena extension that backs coalesced halo
+// bundles: wire buffers aggregating a whole epoch's payloads toward one
+// neighbor land well above the old 128 MiB ceiling, and must be pooled —
+// not silently bypassed — or every bundle send would reallocate. The
+// regression is steady-state Get/Put of a bundle-sized buffer at zero
+// allocations.
+func TestPoolBundleClasses(t *testing.T) {
+	bundleSized := 200 << 20 // 200 MiB: above the pre-coalescing top class
+	if c := sizeClass(bundleSized); c < 0 {
+		t.Fatalf("sizeClass(%d) = %d: bundle-sized buffers bypass the pool", bundleSized, c)
+	}
+	var p BytePool
+	p.Put(p.Get(bundleSized)) // warm the class
+	if n := testing.AllocsPerRun(10, func() { p.Put(p.Get(bundleSized)) }); n != 0 {
+		t.Errorf("bundle-sized Get/Put: %v allocs per run, want 0", n)
+	}
+}

@@ -9,10 +9,15 @@ import (
 	"castencil/internal/ptg"
 )
 
-// csvHeader is the column layout of the on-disk trace format. The trailing
-// "stolen" column was added with the work-stealing scheduler; ReadCSV still
-// accepts the original nine-column files.
-var csvHeader = []string{"class", "i", "j", "k", "kind", "node", "core", "start_ns", "end_ns", "stolen"}
+// csvHeader is the column layout of the on-disk trace format. The "stolen"
+// column was added with the work-stealing scheduler and the "msgs"/"bytes"
+// comm-counter columns with halo-bundle coalescing; ReadCSV still accepts
+// the earlier nine- and ten-column files.
+var csvHeader = []string{"class", "i", "j", "k", "kind", "node", "core", "start_ns", "end_ns", "stolen", "msgs", "bytes"}
+
+// csvWidths lists the accepted column counts, newest first: the full
+// format, the pre-comm-counter format, and the pre-stolen format.
+var csvWidths = []int{len(csvHeader), len(csvHeader) - 2, len(csvHeader) - 3}
 
 // WriteCSV serializes the trace (sorted by start time) for later rendering
 // with cmd/traceview.
@@ -33,6 +38,7 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 			strconv.Itoa(int(e.Node)), strconv.Itoa(int(e.Core)),
 			strconv.FormatInt(int64(e.Start), 10), strconv.FormatInt(int64(e.End), 10),
 			stolen,
+			strconv.Itoa(e.Msgs), strconv.Itoa(e.Bytes),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -42,8 +48,9 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV loads a trace previously written with WriteCSV, including
-// pre-"stolen"-column files.
+// ReadCSV loads a trace previously written with WriteCSV, accepting every
+// historical width: nine columns (pre-"stolen"), ten (pre-comm-counter) and
+// the current twelve.
 func ReadCSV(r io.Reader) (*Trace, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
@@ -54,8 +61,15 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("trace: empty CSV")
 	}
-	if (len(rows[0]) != len(csvHeader) && len(rows[0]) != len(csvHeader)-1) || rows[0][0] != "class" {
-		return nil, fmt.Errorf("trace: unrecognized header %v", rows[0])
+	widthOK := false
+	for _, w := range csvWidths {
+		if len(rows[0]) == w {
+			widthOK = true
+		}
+	}
+	if !widthOK || rows[0][0] != "class" {
+		return nil, fmt.Errorf("trace: unrecognized header %v (want %d, %d or %d columns starting with %q)",
+			rows[0], csvWidths[2], csvWidths[1], csvWidths[0], "class")
 	}
 	t := New()
 	for ln, rec := range rows[1:] {
@@ -70,13 +84,28 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 			}
 			ints[i-1] = v
 		}
-		stolen := false
-		if len(rec) > 9 {
-			v, err := strconv.ParseInt(rec[9], 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("trace: line %d column stolen: %v", ln+2, err)
+		// Trailing columns are optional by format generation.
+		opt := func(col int) (int64, error) {
+			if len(rec) <= col {
+				return 0, nil
 			}
-			stolen = v != 0
+			v, err := strconv.ParseInt(rec[col], 10, 64)
+			if err != nil {
+				return 0, fmt.Errorf("trace: line %d column %s: %v", ln+2, csvHeader[col], err)
+			}
+			return v, nil
+		}
+		stolen, err := opt(9)
+		if err != nil {
+			return nil, err
+		}
+		msgs, err := opt(10)
+		if err != nil {
+			return nil, err
+		}
+		bytes, err := opt(11)
+		if err != nil {
+			return nil, err
 		}
 		t.Record(Event{
 			ID:     ptg.TaskID{Class: rec[0], I: int(ints[0]), J: int(ints[1]), K: int(ints[2])},
@@ -85,7 +114,9 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 			Core:   int32(ints[5]),
 			Start:  timeDuration(ints[6]),
 			End:    timeDuration(ints[7]),
-			Stolen: stolen,
+			Stolen: stolen != 0,
+			Msgs:   int(msgs),
+			Bytes:  int(bytes),
 		})
 	}
 	return t, nil

@@ -3,8 +3,10 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"castencil/internal/ptg"
 )
@@ -82,5 +84,85 @@ func TestWriteChrome(t *testing.T) {
 	}
 	if first["pid"].(float64) != 1 {
 		t.Errorf("pid = %v", first["pid"])
+	}
+}
+
+// TestReadCSVBackCompat pins the on-disk format evolution: nine-column
+// (pre-stolen), ten-column (pre-comm-counter) and the current twelve-column
+// files must all load, with absent trailing columns defaulting to zero.
+func TestReadCSVBackCompat(t *testing.T) {
+	cases := []struct {
+		file   string
+		events int
+		comm   int // KindComm events expected
+	}{
+		{"testdata/trace_v9.csv", 3, 0},
+		{"testdata/trace_v10.csv", 3, 0},
+		{"testdata/trace_v12.csv", 5, 2},
+	}
+	for _, c := range cases {
+		f, err := os.Open(c.file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := ReadCSV(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", c.file, err)
+		}
+		if tr.Len() != c.events {
+			t.Errorf("%s: %d events, want %d", c.file, tr.Len(), c.events)
+		}
+		_, comm := SplitComm(tr.Events())
+		if len(comm) != c.comm {
+			t.Errorf("%s: %d comm events, want %d", c.file, len(comm), c.comm)
+		}
+		for _, e := range tr.Events() {
+			if e.Kind != ptg.KindComm && (e.Msgs != 0 || e.Bytes != 0) {
+				t.Errorf("%s: compute event %v carries comm counters", c.file, e.ID)
+			}
+		}
+	}
+}
+
+// TestReadCSVCommCounters checks the comm columns survive a fixture load and
+// feed SummarizeComm.
+func TestReadCSVCommCounters(t *testing.T) {
+	f, err := os.Open("testdata/trace_v12.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, comm := SplitComm(tr.Events())
+	s := SummarizeComm(comm)
+	if s.Wire != 2 || s.Transfers != 6 || s.Bytes != 3120 {
+		t.Errorf("comm stats = %+v, want Wire 2, Transfers 6, Bytes 3120", s)
+	}
+	if s.Busy != 400*time.Microsecond {
+		t.Errorf("comm busy = %v, want 400µs", s.Busy)
+	}
+}
+
+// TestCSVRoundTripCommEvent checks the twelve-column writer preserves the
+// comm counters through a write/read cycle.
+func TestCSVRoundTripCommEvent(t *testing.T) {
+	tr := New()
+	e := ev(0, 2, ptg.KindComm, 1, 2)
+	e.Msgs, e.Bytes = 4, 2048
+	tr.Record(e)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := got.Events()[0]; g.Msgs != 4 || g.Bytes != 2048 {
+		t.Errorf("round-tripped comm event = %+v", g)
 	}
 }

@@ -14,7 +14,8 @@ import (
 	"castencil/internal/ptg"
 )
 
-// Event is one executed task.
+// Event is one executed task, or (Kind ptg.KindComm) one wire message
+// handled by a node's communication goroutine.
 type Event struct {
 	ID         ptg.TaskID
 	Kind       ptg.Kind
@@ -23,6 +24,11 @@ type Event struct {
 	// Stolen marks a task the executing core took from a sibling
 	// worker's deque (work-stealing scheduler only).
 	Stolen bool
+	// Msgs and Bytes are set on KindComm events only: the member transfers
+	// carried (1 for a point-to-point message, the segment count for a
+	// coalesced bundle) and the wire bytes handled.
+	Msgs  int
+	Bytes int
 }
 
 // Duration returns the event's execution time.
@@ -183,6 +189,45 @@ func SummarizeCores(events []Event, cores int) []CoreStats {
 	return out
 }
 
+// SplitComm partitions events into compute events and communication
+// (KindComm) events, preserving order. Compute statistics (Summarize,
+// SummarizeCores) should run on the first slice so comm-goroutine activity
+// does not pollute task occupancy and per-kind medians.
+func SplitComm(events []Event) (compute, comm []Event) {
+	for _, e := range events {
+		if e.Kind == ptg.KindComm {
+			comm = append(comm, e)
+		} else {
+			compute = append(compute, e)
+		}
+	}
+	return compute, comm
+}
+
+// CommStats summarizes the communication-goroutine events of one node: the
+// comm-utilization row of a trace.
+type CommStats struct {
+	Wire      int // wire messages handled (sends + receives)
+	Transfers int // member transfers carried (== Wire without coalescing)
+	Bytes     int
+	Busy      time.Duration // summed handling time on the comm goroutine
+}
+
+// SummarizeComm aggregates KindComm events (others are ignored).
+func SummarizeComm(events []Event) CommStats {
+	var s CommStats
+	for _, e := range events {
+		if e.Kind != ptg.KindComm {
+			continue
+		}
+		s.Wire++
+		s.Transfers += e.Msgs
+		s.Bytes += e.Bytes
+		s.Busy += e.Duration()
+	}
+	return s
+}
+
 // GanttConfig controls text rendering.
 type GanttConfig struct {
 	Width int // columns of the time axis (default 100)
@@ -204,6 +249,7 @@ func Gantt(events []Event, cores int, cfg GanttConfig) string {
 			ptg.KindBoundary: 'B',
 			ptg.KindInterior: '.',
 			ptg.KindInit:     'i',
+			ptg.KindComm:     'c',
 		}
 	}
 	if len(events) == 0 {
