@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-sched bench-comm check
+.PHONY: all build vet test race bench-smoke bench bench-sched bench-comm bench-fault check
 
 all: check
 
@@ -10,9 +10,9 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Tier-1 gate (see ROADMAP.md).
+# Tier-1 gate (see ROADMAP.md): full build (examples included), vet, tests.
 test:
-	$(GO) build ./... && $(GO) test ./...
+	$(GO) build ./... ./examples/... && $(GO) vet ./... && $(GO) test ./...
 
 race:
 	$(GO) test -race ./...
@@ -40,6 +40,15 @@ bench-comm:
 		-benchtime 20x -benchmem \
 		./internal/runtime/ ./internal/core/
 	$(GO) run ./cmd/stencilbench -exp coalesce -quick
+
+# Fault-injection & recovery smoke behind BENCH_4.json: recovery-layer
+# overhead (idle and active) on the coalesced executor, plus the
+# bench-harness ablation table (bitwise-equal grids under injected faults).
+bench-fault:
+	$(GO) test -run '^$$' -bench 'ExecutorFault' \
+		-benchtime 20x -benchmem \
+		./internal/core/
+	$(GO) run ./cmd/stencilbench -exp fault -quick
 
 # Full measurement run behind BENCH_1.json.
 bench:

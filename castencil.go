@@ -8,18 +8,31 @@
 // paper's evaluation.
 //
 // This file is the public facade: it re-exports the pieces an application
-// needs. Two execution engines are available for every stencil variant:
+// needs. Two execution engines are available for every stencil variant,
+// both driven by the same functional options (see options.go):
 //
-//   - RunReal executes the task graph concurrently and exactly — the result
+//   - Run executes the task graph concurrently and exactly — the result
 //     is bitwise identical to a sequential Jacobi sweep, whatever the
-//     decomposition, variant or step size;
-//   - Simulate replays the same graph in virtual time against a machine
+//     decomposition, variant, step size or (masked) fault injection;
+//   - Sim replays the same graph in virtual time against a machine
 //     model and predicts performance (GFLOP/s, messages, occupancy).
 //
 // Quick start:
 //
 //	cfg := castencil.Config{N: 2880, TileRows: 288, P: 2, Steps: 100, StepSize: 15}
-//	res, err := castencil.Simulate(castencil.CA, cfg, castencil.SimOptions{Machine: castencil.NaCL()})
+//	res, err := castencil.Sim(castencil.CA, cfg, castencil.WithMachine(castencil.NaCL()))
+//
+// Real execution with work stealing, coalesced halo lanes and an injected
+// fault schedule masked by the reliable transport:
+//
+//	plan, _ := castencil.ParseFaultPlan("drop=0.01,dup=0.01,seed=7")
+//	out, err := castencil.Run(castencil.CA, cfg,
+//	    castencil.WithSched(castencil.WorkStealing),
+//	    castencil.WithCoalesce(castencil.CoalesceAuto),
+//	    castencil.WithFaultPlan(plan))
+//
+// The earlier RunReal/Simulate entry points and their per-engine option
+// structs remain as deprecated wrappers over the same engines.
 package castencil
 
 import (
@@ -53,6 +66,10 @@ const (
 type Config = core.Config
 
 // SimOptions configures a virtual-time performance simulation.
+//
+// Deprecated: build options with the functional Option list of Sim
+// (WithMachine, WithRatio, WithCoalesce, WithFaultPlan, ...). SimOptions
+// remains as the engine-level struct behind RunOptions.sim.
 type SimOptions = core.SimOptions
 
 // SimResult reports a simulated run.
@@ -62,7 +79,12 @@ type SimResult = core.SimResult
 type RealResult = core.RealResult
 
 // ExecOptions configures the real runtime (workers per node, scheduling
-// policy, tracing, message interception).
+// policy, tracing, fault injection, message interception).
+//
+// Deprecated: build options with the functional Option list of Run
+// (WithWorkers, WithSched, WithCoalesce, WithFaultPlan, ...). ExecOptions
+// remains as the engine-level struct behind RunOptions.real (RunGraph
+// still accepts it directly).
 type ExecOptions = runtime.Options
 
 // Scheduling policies of the real runtime (queue order under the shared
@@ -172,11 +194,19 @@ func NewTrace() *Trace { return trace.New() }
 
 // RunReal executes a stencil variant on the concurrent runtime, returning
 // the exact final grid.
+//
+// Deprecated: use Run with functional options; Run(v, cfg) with no
+// options is equivalent to RunReal(v, cfg, ExecOptions{}) and results are
+// bitwise identical for equivalent settings.
 func RunReal(v Variant, cfg Config, opts ExecOptions) (*RealResult, error) {
 	return core.RunReal(v, cfg, opts)
 }
 
 // Simulate predicts a stencil variant's performance on a machine model.
+//
+// Deprecated: use Sim with functional options; Sim(v, cfg,
+// WithMachine(m)) is equivalent to Simulate(v, cfg, SimOptions{Machine:
+// m}) and produces the identical prediction for equivalent settings.
 func Simulate(v Variant, cfg Config, opts SimOptions) (*SimResult, error) {
 	return core.Simulate(v, cfg, opts)
 }

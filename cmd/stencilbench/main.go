@@ -20,16 +20,18 @@ import (
 	"time"
 
 	"castencil/internal/bench"
+	"castencil/internal/cli"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig5, fig6, fig7, fig8, fig9, fig10, roofline, headline, future, ninepoint, autoplan, sched, weak, coalesce")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig5, fig6, fig7, fig8, fig9, fig10, roofline, headline, future, ninepoint, autoplan, sched, weak, coalesce, fault")
 	quick := flag.Bool("quick", false, "quarter-scale workloads, 10 iterations (fast)")
 	host := flag.Bool("host", false, "table1: run a real STREAM benchmark on this host too")
 	gantt := flag.Int("gantt", 0, "fig10: also print text Gantt charts of the given width")
 	steps := flag.Int("steps", 0, "override iteration count")
-	sched := flag.String("sched", "", "sched experiment: restrict the real-runtime table to one scheduler (steal, fifo, lifo, priority; empty = all)")
-	coalesce := flag.String("coalesce", "", "coalesce experiment: restrict the ablation to one mode (off, step; empty = both)")
+	sched := cli.SchedVar(flag.CommandLine, "")
+	coalesce := cli.CoalesceVar(flag.CommandLine, "")
+	faultSpec := cli.FaultVar(flag.CommandLine)
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the experiments to this file")
 	flag.Parse()
@@ -70,8 +72,9 @@ func main() {
 	if *steps > 0 {
 		p.Steps = *steps
 	}
-	p.Sched = *sched
-	p.Coalesce = *coalesce
+	p.Sched = sched.Name
+	p.Coalesce = coalesce.Name
+	p.Fault = faultSpec.Spec
 
 	want := func(id string) bool { return *exp == "all" || *exp == id }
 	ran := 0
@@ -184,6 +187,14 @@ func main() {
 		}},
 		{"coalesce", func() error {
 			r, err := bench.Coalesce(p)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"fault", func() error {
+			r, err := bench.FaultAblation(p)
 			if err != nil {
 				return err
 			}

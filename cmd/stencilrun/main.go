@@ -4,16 +4,19 @@
 //
 //	stencilrun -impl ca -machine NaCL -nodes 16 -n 23040 -tile 288 -steps 100 -stepsize 15
 //	stencilrun -impl base -engine real -n 240 -tile 24 -nodes 4 -workers 4 -verify
+//	stencilrun -impl base -engine real -n 240 -tile 24 -nodes 4 -fault drop=0.02,seed=7 -verify
 //	stencilrun -impl petsc -machine Stampede2 -nodes 16 -n 55296
 //	stencilrun -impl ca -machine NaCL -nodes 16 -ratio 0.4 -trace trace.csv
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	castencil "castencil"
+	"castencil/internal/cli"
 	"castencil/internal/core"
 	"castencil/internal/petsc"
 )
@@ -25,7 +28,7 @@ func fail(err error) {
 
 func main() {
 	impl := flag.String("impl", "ca", "implementation: base, ca, petsc")
-	machineName := flag.String("machine", "NaCL", "machine model: NaCL or Stampede2")
+	machineFlag := cli.MachineVar(flag.CommandLine, "NaCL")
 	engine := flag.String("engine", "sim", "engine: sim (virtual time) or real (actual execution)")
 	n := flag.Int("n", 23040, "global grid extent (N x N)")
 	tile := flag.Int("tile", 288, "tile size")
@@ -34,8 +37,9 @@ func main() {
 	stepSize := flag.Int("stepsize", 15, "CA step size")
 	ratio := flag.Float64("ratio", 1, "kernel adjustment ratio (sim only)")
 	workers := flag.Int("workers", 2, "workers per node (real engine)")
-	sched := flag.String("sched", "steal", "real engine scheduler: "+castencil.SchedNames)
-	coalesce := flag.String("coalesce", "off", "halo-bundle coalescing: "+castencil.CoalesceNames)
+	schedFlag := cli.SchedVar(flag.CommandLine, "steal")
+	coalesceFlag := cli.CoalesceVar(flag.CommandLine, "off")
+	faultFlag := cli.FaultVar(flag.CommandLine)
 	verify := flag.Bool("verify", false, "real engine: compare against the sequential oracle")
 	traceOut := flag.String("trace", "", "write a CSV trace to this file (sim: node 0; real: all nodes)")
 	planMode := flag.Bool("plan", false, "run the automatic step-size planner instead of a single config")
@@ -49,14 +53,7 @@ func main() {
 	if p*p != *nodes {
 		fail(fmt.Errorf("nodes = %d is not a perfect square", *nodes))
 	}
-	m, err := castencil.MachineByName(*machineName)
-	if err != nil {
-		fail(err)
-	}
-	coal, err := castencil.ParseCoalesce(*coalesce)
-	if err != nil {
-		fail(err)
-	}
+	m := machineFlag.Model
 	cfg := castencil.Config{N: *n, TileRows: *tile, P: p, Steps: *steps, StepSize: *stepSize}
 
 	if *dotOut != "" {
@@ -125,15 +122,20 @@ func main() {
 
 	switch *engine {
 	case "sim":
-		opts := castencil.SimOptions{Machine: m, Ratio: *ratio, Coalesce: coal}
+		opts := []castencil.Option{
+			castencil.WithMachine(m),
+			castencil.WithRatio(*ratio),
+			castencil.WithCoalesce(coalesceFlag.Mode),
+			castencil.WithFaultPlan(faultFlag.Plan),
+		}
 		var tr *castencil.Trace
 		if *traceOut != "" {
 			tr = castencil.NewTrace()
-			opts.Trace = tr
-			opts.TraceNode = 0
+			opts = append(opts, castencil.WithTrace(tr), castencil.WithTraceNode(0))
 		}
-		res, err := castencil.Simulate(variant, cfg, opts)
+		res, err := castencil.Sim(variant, cfg, opts...)
 		if err != nil {
+			reportFault(err)
 			fail(err)
 		}
 		fmt.Printf("%s on %s, %d nodes, N=%d tile=%d steps=%d", variant, m.Name, *nodes, *n, *tile, *steps)
@@ -147,42 +149,42 @@ func main() {
 			res.GFLOPS, res.Makespan, res.Messages, float64(res.BytesSent)/1e6)
 		if res.Bundles > 0 {
 			fmt.Printf("  coalescing (%s): %d bundles carrying %d transfers, fill %.1f\n",
-				coal, res.Bundles, res.Segments, res.BundleFill())
+				coalesceFlag.Mode, res.Bundles, res.Segments, res.BundleFill())
+		}
+		if res.Fault.Any() {
+			fmt.Printf("  fault plan %q masked: %v\n", faultFlag.Spec, res.Fault)
 		}
 		if tr != nil {
-			f, err := os.Create(*traceOut)
-			if err != nil {
-				fail(err)
-			}
-			defer f.Close()
-			if err := tr.WriteCSV(f); err != nil {
-				fail(err)
-			}
-			fmt.Printf("  trace of node 0 written to %s (%d events)\n", *traceOut, tr.Len())
+			writeTrace(tr, *traceOut, "trace of node 0")
 		}
 	case "real":
-		s, pol, err := castencil.ParseSched(*sched)
-		if err != nil {
-			fail(err)
+		opts := []castencil.Option{
+			castencil.WithWorkers(*workers),
+			castencil.WithSched(schedFlag.Sched),
+			castencil.WithPolicy(schedFlag.Policy),
+			castencil.WithCoalesce(coalesceFlag.Mode),
+			castencil.WithFaultPlan(faultFlag.Plan),
 		}
-		opts := castencil.ExecOptions{Workers: *workers, Sched: s, Policy: pol, Coalesce: coal}
 		var tr *castencil.Trace
 		if *traceOut != "" {
 			tr = castencil.NewTrace()
-			opts.Trace = tr
-			opts.TraceComm = true
+			opts = append(opts, castencil.WithTrace(tr), castencil.WithTraceComm())
 		}
-		res, err := castencil.RunReal(variant, cfg, opts)
+		res, err := castencil.Run(variant, cfg, opts...)
 		if err != nil {
+			reportFault(err)
 			fail(err)
 		}
 		fmt.Printf("%s real run (%s): %d nodes x %d workers, elapsed %v, %d messages, %.1f MB sent\n",
-			variant, s, *nodes, *workers, res.Exec.Elapsed, res.Exec.Messages, float64(res.Exec.BytesSent)/1e6)
+			variant, schedFlag.Sched, *nodes, *workers, res.Exec.Elapsed, res.Exec.Messages, float64(res.Exec.BytesSent)/1e6)
 		if res.Exec.BundlesSent > 0 {
 			fmt.Printf("  coalescing (%s): %d bundles carrying %d transfers, fill %.1f\n",
-				coal, res.Exec.BundlesSent, res.Exec.BundleSegments, res.Exec.BundleFill())
+				coalesceFlag.Mode, res.Exec.BundlesSent, res.Exec.BundleSegments, res.Exec.BundleFill())
 		}
-		if s == castencil.WorkStealing {
+		if res.Exec.Fault.Any() {
+			fmt.Printf("  fault plan %q masked: %v\n", faultFlag.Spec, res.Exec.Fault)
+		}
+		if schedFlag.Sched == castencil.WorkStealing {
 			hits, steals, parks := 0, 0, 0
 			for n := range res.Exec.NodeLocalHits {
 				hits += res.Exec.NodeLocalHits[n]
@@ -193,15 +195,7 @@ func main() {
 				hits, steals, parks, res.Exec.Completed)
 		}
 		if tr != nil {
-			f, err := os.Create(*traceOut)
-			if err != nil {
-				fail(err)
-			}
-			defer f.Close()
-			if err := tr.WriteCSV(f); err != nil {
-				fail(err)
-			}
-			fmt.Printf("  trace written to %s (%d events)\n", *traceOut, tr.Len())
+			writeTrace(tr, *traceOut, "trace")
 		}
 		if *verify {
 			if d := castencil.Verify(cfg, res); d == 0 {
@@ -213,4 +207,25 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown engine %q", *engine))
 	}
+}
+
+// reportFault surfaces the structured degradation report when a run failed
+// because a transfer could not be acknowledged within the recovery deadline.
+func reportFault(err error) {
+	var rep *castencil.FaultReport
+	if errors.As(err, &rep) {
+		fmt.Fprintf(os.Stderr, "stencilrun: degraded: %v\n", rep.Stats)
+	}
+}
+
+func writeTrace(tr *castencil.Trace, path, what string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := tr.WriteCSV(f); err != nil {
+		fail(err)
+	}
+	fmt.Printf("  %s written to %s (%d events)\n", what, path, tr.Len())
 }

@@ -53,7 +53,7 @@ func main() {
 	fmt.Println("heat diffusion, 120x120 plate, left wall at 100 degrees")
 	for _, steps := range []int{20, 200, 2000} {
 		cfg := config(steps)
-		res, err := castencil.RunReal(castencil.CA, cfg, castencil.ExecOptions{Workers: 3})
+		res, err := castencil.Run(castencil.CA, cfg, castencil.WithWorkers(3))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -64,11 +64,11 @@ func main() {
 
 	// Cross-check the three formulations at 200 steps.
 	cfg := config(200)
-	ca, err := castencil.RunReal(castencil.CA, cfg, castencil.ExecOptions{Workers: 2})
+	ca, err := castencil.Run(castencil.CA, cfg, castencil.WithWorkers(2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := castencil.RunReal(castencil.Base, cfg, castencil.ExecOptions{Workers: 2})
+	base, err := castencil.Run(castencil.Base, cfg, castencil.WithWorkers(2))
 	if err != nil {
 		log.Fatal(err)
 	}

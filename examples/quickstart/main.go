@@ -26,7 +26,7 @@ func main() {
 
 	fmt.Println("== real execution (4 virtual nodes, 3 workers each) ==")
 	for _, v := range []castencil.Variant{castencil.Base, castencil.CA} {
-		res, err := castencil.RunReal(v, cfg, castencil.ExecOptions{Workers: 3})
+		res, err := castencil.Run(v, cfg, castencil.WithWorkers(3))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -36,16 +36,37 @@ func main() {
 			float64(res.Exec.BytesSent)/1e3, diff)
 	}
 
+	// The same run over an unreliable wire: 5% of messages dropped and 5%
+	// duplicated, deterministically by seed. The reliable transport
+	// (sequence numbers, acks, retransmits, receiver dedup) comes on
+	// automatically and masks every fault — the numerics stay bitwise
+	// identical to the oracle.
+	fmt.Println()
+	fmt.Println("== real execution over a faulty wire (drop=5%, dup=5%) ==")
+	plan, err := castencil.ParseFaultPlan("drop=0.05,dup=0.05,seed=42")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := castencil.Run(castencil.CA, cfg,
+		castencil.WithWorkers(3),
+		castencil.WithSched(castencil.WorkStealing),
+		castencil.WithCoalesce(castencil.CoalesceStep),
+		castencil.WithFaultPlan(plan))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CA  : %v, max diff vs oracle = %v\n", res.Exec.Fault, castencil.Verify(cfg, res))
+
 	fmt.Println()
 	fmt.Println("== predicted performance on the paper's clusters (virtual time) ==")
 	big := castencil.Config{N: 23040, TileRows: 288, P: 4, Steps: 100, StepSize: 15}
 	for _, m := range []*castencil.Machine{castencil.NaCL(), castencil.Stampede2()} {
 		for _, ratio := range []float64{1.0, 0.2} {
-			base, err := castencil.Simulate(castencil.Base, big, castencil.SimOptions{Machine: m, Ratio: ratio})
+			base, err := castencil.Sim(castencil.Base, big, castencil.WithMachine(m), castencil.WithRatio(ratio))
 			if err != nil {
 				log.Fatal(err)
 			}
-			ca, err := castencil.Simulate(castencil.CA, big, castencil.SimOptions{Machine: m, Ratio: ratio})
+			ca, err := castencil.Sim(castencil.CA, big, castencil.WithMachine(m), castencil.WithRatio(ratio))
 			if err != nil {
 				log.Fatal(err)
 			}

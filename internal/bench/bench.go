@@ -102,6 +102,9 @@ type Params struct {
 	// Coalesce filters the halo-coalescing ablation to one mode ("off",
 	// "step", "auto"); empty runs the full off-vs-step comparison.
 	Coalesce string
+	// Fault, when non-empty, replaces the fault ablation's canned plans
+	// with this spec (fault.SpecSyntax grammar, e.g. "drop=0.01,seed=7").
+	Fault string
 }
 
 // PaperParams returns the paper's exact experimental configuration.

@@ -1,0 +1,148 @@
+// Package cli is the shared flag registry for the stencil command-line
+// binaries. Each engine-facing flag is defined exactly once here as a
+// flag.Value wrapping the canonical parser (runtime.ParseSched,
+// ptg.ParseCoalesce, machine.ByName, fault.ParsePlan), so every binary
+// accepts identical spellings with identical help text, typos fail at
+// flag-parse time instead of deep inside a run, and adding a spelling in
+// one parser updates every command at once.
+package cli
+
+import (
+	"flag"
+	"fmt"
+
+	"castencil/internal/fault"
+	"castencil/internal/machine"
+	"castencil/internal/ptg"
+	"castencil/internal/runtime"
+)
+
+// SchedFlag is the -sched flag: a scheduler spelling resolved through
+// runtime.ParseSched. The zero value means "not set" (bench experiments
+// read that as "all schedulers").
+type SchedFlag struct {
+	// Name is the raw spelling as passed ("" when unset).
+	Name string
+	// Sched and Policy are the resolved configuration (valid when Name
+	// is non-empty).
+	Sched  runtime.Sched
+	Policy runtime.Policy
+}
+
+func (f *SchedFlag) String() string { return f.Name }
+
+// Set parses and validates a scheduler spelling; "" resets to unset.
+func (f *SchedFlag) Set(s string) error {
+	if s == "" {
+		*f = SchedFlag{}
+		return nil
+	}
+	sc, pol, err := runtime.ParseSched(s)
+	if err != nil {
+		return err
+	}
+	f.Name, f.Sched, f.Policy = s, sc, pol
+	return nil
+}
+
+// SchedVar registers -sched on fs with the given default spelling (""
+// leaves it unset). A bad default is a programmer error and panics.
+func SchedVar(fs *flag.FlagSet, def string) *SchedFlag {
+	f := &SchedFlag{}
+	if err := f.Set(def); err != nil {
+		panic(fmt.Sprintf("cli: bad default -sched %q: %v", def, err))
+	}
+	fs.Var(f, "sched", "real-engine scheduler: "+runtime.SchedNames)
+	return f
+}
+
+// CoalesceFlag is the -coalesce flag: a halo-bundle coalescing mode
+// resolved through ptg.ParseCoalesce. Name keeps the raw spelling so
+// bench experiments can distinguish "unset" (run every mode) from an
+// explicit "off".
+type CoalesceFlag struct {
+	Name string
+	Mode ptg.CoalesceMode
+}
+
+func (f *CoalesceFlag) String() string { return f.Name }
+
+// Set parses and validates a coalescing mode; "" resets to unset.
+func (f *CoalesceFlag) Set(s string) error {
+	if s == "" {
+		*f = CoalesceFlag{}
+		return nil
+	}
+	m, err := ptg.ParseCoalesce(s)
+	if err != nil {
+		return err
+	}
+	f.Name, f.Mode = s, m
+	return nil
+}
+
+// CoalesceVar registers -coalesce on fs with the given default spelling
+// ("" leaves it unset). A bad default panics.
+func CoalesceVar(fs *flag.FlagSet, def string) *CoalesceFlag {
+	f := &CoalesceFlag{}
+	if err := f.Set(def); err != nil {
+		panic(fmt.Sprintf("cli: bad default -coalesce %q: %v", def, err))
+	}
+	fs.Var(f, "coalesce", "halo-bundle coalescing: "+ptg.CoalesceNames)
+	return f
+}
+
+// MachineFlag is the -machine flag: a built-in cluster model resolved
+// through machine.ByName.
+type MachineFlag struct {
+	Name  string
+	Model *machine.Model
+}
+
+func (f *MachineFlag) String() string { return f.Name }
+
+func (f *MachineFlag) Set(s string) error {
+	m, err := machine.ByName(s)
+	if err != nil {
+		return err
+	}
+	f.Name, f.Model = s, m
+	return nil
+}
+
+// MachineVar registers -machine on fs with the given default model name.
+// A bad default panics.
+func MachineVar(fs *flag.FlagSet, def string) *MachineFlag {
+	f := &MachineFlag{}
+	if err := f.Set(def); err != nil {
+		panic(fmt.Sprintf("cli: bad default -machine %q: %v", def, err))
+	}
+	fs.Var(f, "machine", "machine model: NaCL or Stampede2")
+	return f
+}
+
+// FaultFlag is the -fault flag: a deterministic fault-injection spec
+// parsed through fault.ParsePlan. Plan is nil when unset (or when the
+// spec is "off"/"none").
+type FaultFlag struct {
+	Spec string
+	Plan *fault.Plan
+}
+
+func (f *FaultFlag) String() string { return f.Spec }
+
+func (f *FaultFlag) Set(s string) error {
+	p, err := fault.ParsePlan(s)
+	if err != nil {
+		return err
+	}
+	f.Spec, f.Plan = s, p
+	return nil
+}
+
+// FaultVar registers -fault on fs (default: no fault injection).
+func FaultVar(fs *flag.FlagSet) *FaultFlag {
+	f := &FaultFlag{}
+	fs.Var(f, "fault", "fault-injection spec, e.g. \"drop=0.01,seed=7\"; grammar: "+fault.SpecSyntax)
+	return f
+}

@@ -1,0 +1,97 @@
+package cli
+
+import (
+	"flag"
+	"testing"
+
+	"castencil/internal/ptg"
+	"castencil/internal/runtime"
+)
+
+func newSet(t *testing.T) *flag.FlagSet {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	return fs
+}
+
+func TestSchedFlag(t *testing.T) {
+	fs := newSet(t)
+	f := SchedVar(fs, "steal")
+	if f.Sched != runtime.WorkStealing {
+		t.Fatalf("default: got %v, want WorkStealing", f.Sched)
+	}
+	if err := fs.Parse([]string{"-sched", "priority"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Sched != runtime.SharedQueue || f.Policy != runtime.PriorityOrder {
+		t.Fatalf("got (%v, %v), want (SharedQueue, PriorityOrder)", f.Sched, f.Policy)
+	}
+	if err := fs.Parse([]string{"-sched", "bogus"}); err == nil {
+		t.Fatal("bad spelling accepted")
+	}
+}
+
+func TestCoalesceFlag(t *testing.T) {
+	fs := newSet(t)
+	f := CoalesceVar(fs, "")
+	if f.Name != "" {
+		t.Fatalf("unset default has Name %q", f.Name)
+	}
+	if err := fs.Parse([]string{"-coalesce", "step"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Mode != ptg.CoalesceStep || f.Name != "step" {
+		t.Fatalf("got (%v, %q)", f.Mode, f.Name)
+	}
+	if err := fs.Parse([]string{"-coalesce", "sideways"}); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestMachineFlag(t *testing.T) {
+	fs := newSet(t)
+	f := MachineVar(fs, "NaCL")
+	if f.Model == nil || f.Model.Name != "NaCL" {
+		t.Fatalf("default model = %+v", f.Model)
+	}
+	if err := fs.Parse([]string{"-machine", "Stampede2"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Model.Name != "Stampede2" {
+		t.Fatalf("got %q", f.Model.Name)
+	}
+	if err := fs.Parse([]string{"-machine", "Frontier"}); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestFaultFlag(t *testing.T) {
+	fs := newSet(t)
+	f := FaultVar(fs)
+	if f.Plan != nil {
+		t.Fatal("default plan should be nil")
+	}
+	if err := fs.Parse([]string{"-fault", "drop=0.01,seed=7"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Plan == nil || f.Plan.Drop != 0.01 || f.Plan.Seed != 7 {
+		t.Fatalf("plan = %+v", f.Plan)
+	}
+	if err := fs.Parse([]string{"-fault", "drop=2"}); err == nil {
+		t.Fatal("out-of-range probability accepted")
+	}
+	if err := fs.Parse([]string{"-fault", "off"}); err != nil {
+		t.Fatal(err)
+	} else if f.Plan != nil {
+		t.Fatal("\"off\" should clear the plan")
+	}
+}
+
+func TestBadDefaultsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad default did not panic")
+		}
+	}()
+	SchedVar(newSet(t), "bogus")
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+
+	"castencil/internal/fault"
+	"castencil/internal/ptg"
+	"castencil/internal/runtime"
+)
+
+// BenchmarkExecutorFault prices the recovery layer on the coalesced
+// communication-bound shape BenchmarkExecutorCoalesce uses: "off" is the
+// plain wire (the recovery machinery compiled in but disabled — this row
+// must stay within noise of the coalesce benchmark), "recovery" sequences
+// and acknowledges every message on a clean wire, and "faulty" masks an
+// injected drop+dup schedule end to end.
+func BenchmarkExecutorFault(b *testing.B) {
+	// Identical shape to BenchmarkExecutorCoalesce's ca-n4-step case, so
+	// the "off" row is directly comparable across benchmark runs.
+	cfg := Config{N: 256, TileRows: 16, P: 2, Steps: 20, StepSize: 4}
+	plan, err := fault.ParsePlan("drop=0.02,dup=0.02,seed=7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opts runtime.Options
+	}{
+		{"off", runtime.Options{Workers: 2, Coalesce: ptg.CoalesceStep}},
+		{"recovery", runtime.Options{Workers: 2, Coalesce: ptg.CoalesceStep, Recovery: fault.DefaultRecovery()}},
+		{"faulty", runtime.Options{Workers: 2, Coalesce: ptg.CoalesceStep, Fault: plan}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) { benchExecutor(b, CA, cfg, c.opts) })
+	}
+}

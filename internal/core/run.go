@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"castencil/internal/desim"
+	"castencil/internal/fault"
 	"castencil/internal/grid"
 	"castencil/internal/machine"
 	"castencil/internal/memmodel"
@@ -103,6 +104,12 @@ type SimOptions struct {
 	// Coalesce aggregates per-epoch halo payloads into per-neighbor
 	// bundles (see runtime.Options.Coalesce for the modes).
 	Coalesce ptg.CoalesceMode
+	// Fault injects a deterministic fault schedule into the virtual wire;
+	// the same plan injects the byte-identical schedule in a real run (see
+	// runtime.Options.Fault). Recovery configures the modeled reliable
+	// transport (auto-enabled for plans that need it).
+	Fault    *fault.Plan
+	Recovery *fault.Recovery
 }
 
 // SimResult reports a simulated run.
@@ -118,7 +125,9 @@ type SimResult struct {
 	// CommBusy is each node's communication-thread busy time; divide by
 	// Makespan for comm-thread occupancy.
 	CommBusy []time.Duration
-	Sim      *desim.Result
+	// Fault counts the injected fault schedule and modeled recovery work.
+	Fault fault.Stats
+	Sim   *desim.Result
 }
 
 // BundleFill returns the mean member transfers per coalesced bundle (0
@@ -194,6 +203,8 @@ func Simulate(v Variant, cfg Config, opts SimOptions) (*SimResult, error) {
 		Trace:     opts.Trace,
 		TraceNode: opts.TraceNode,
 		Coalesce:  opts.Coalesce,
+		Fault:     opts.Fault,
+		Recovery:  opts.Recovery,
 	})
 	if err != nil {
 		return nil, err
@@ -214,6 +225,7 @@ func Simulate(v Variant, cfg Config, opts SimOptions) (*SimResult, error) {
 		Bundles:   res.Bundles,
 		Segments:  res.Segments,
 		CommBusy:  busy,
+		Fault:     res.Fault,
 		Sim:       res,
 	}, nil
 }

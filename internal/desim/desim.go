@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"castencil/internal/fault"
 	"castencil/internal/netsim"
 	"castencil/internal/ptg"
 	"castencil/internal/trace"
@@ -50,6 +51,18 @@ type Options struct {
 	// deadlock-free bundle plan; CoalesceAuto silently falls back to
 	// point-to-point delivery.
 	Coalesce ptg.CoalesceMode
+	// Fault, when non-nil, injects the plan's deterministic fault schedule
+	// into the virtual wire. Decisions are keyed by graph identity exactly
+	// as in the real runtime, so both engines inject byte-identical
+	// schedules for the same plan. Plans that drop, duplicate or pause
+	// auto-enable Recovery with the default policy when it is nil.
+	Fault *fault.Plan
+	// Recovery configures the modeled reliable transport: each injected
+	// drop costs one backed-off ack timeout before its retransmission, and
+	// a transfer unacknowledged past Deadline fails the simulation with a
+	// structured *fault.Report (graceful degradation, mirroring the real
+	// engine). Acks are modeled free, as the real engine accounts them.
+	Recovery *fault.Recovery
 }
 
 // Policy mirrors the real runtime's scheduling disciplines.
@@ -73,6 +86,9 @@ type Result struct {
 	Bundles  int
 	Segments int
 	Tasks    int
+	// Fault counts the injected fault schedule and the modeled recovery
+	// work (all zero without a fault plan).
+	Fault fault.Stats
 }
 
 // BundleFill returns the mean member transfers per bundle (0 when no
@@ -101,6 +117,14 @@ const (
 	// every member dependency at the same arrival time (task holds the
 	// bundle index instead of a task index).
 	evBundleArrive
+	// evSendMsg / evSendBundle perform a send deferred past the source
+	// node's fault-injected pause window (task holds the consumer index
+	// with core the dependency index, or the bundle index). Deferring —
+	// instead of pricing the send immediately with a far-future departure
+	// — keeps fabric pricing in virtual-time order, so a paused sender
+	// never inflates the NIC horizons seen by earlier traffic.
+	evSendMsg
+	evSendBundle
 )
 
 type event struct {
@@ -182,6 +206,20 @@ type sim struct {
 	bundles   []ptg.Bundle
 	bundleRem []int32
 	depBundle map[int64]int32
+	// Fault mirror state (see fault.go): the armed plan and recovery
+	// policy, injected-schedule counters, per-(node,core) executed-task
+	// counters for slow cores, per-node outgoing-message counters for comm
+	// stalls, per-node completed-task counters and pause horizons, and the
+	// structured report of a deadline degradation.
+	fplan      *fault.Plan
+	rec        fault.Recovery
+	reliable   bool
+	fstats     fault.Stats
+	coreSeq    [][]int
+	outSeq     []int
+	nodeDone   []int
+	pauseUntil []time.Duration
+	ferr       error
 }
 
 // Run simulates the graph and returns the makespan and statistics.
@@ -216,6 +254,9 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 	for i := range g.Tasks {
 		s.pending[i] = int32(len(g.Tasks[i].Deps))
 	}
+	if err := s.faultInit(); err != nil {
+		return nil, err
+	}
 	if err := s.planBundles(); err != nil {
 		return nil, err
 	}
@@ -224,7 +265,7 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 	}
 
 	var makespan time.Duration
-	for s.events.Len() > 0 {
+	for s.events.Len() > 0 && s.ferr == nil {
 		ev := heap.Pop(&s.events).(event)
 		switch ev.kind {
 		case evTaskDone:
@@ -232,6 +273,7 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 				makespan = ev.at
 			}
 			s.done++
+			s.notePause(ev.node, ev.at)
 			s.release(ev.task, ev.at)
 			// Free the core and pull the next waiter if any.
 			nd := s.nodes[ev.node]
@@ -246,7 +288,16 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 			for _, m := range s.bundles[ev.task].Members {
 				s.satisfy(m.Task, ev.at)
 			}
+		case evSendMsg:
+			s.sendMsg(ev.task, ev.core, ev.at)
+		case evSendBundle:
+			s.sendBundleAt(ev.task, ev.at)
 		}
+	}
+	if s.ferr != nil {
+		// Graceful degradation: the structured report says which transfer
+		// blew the recovery deadline, after how many attempts.
+		return nil, s.ferr
 	}
 	if s.done != len(g.Tasks) {
 		return nil, fmt.Errorf("desim: quiesced after %d of %d tasks (dependency deadlock)", s.done, len(g.Tasks))
@@ -255,6 +306,7 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 		Makespan: makespan,
 		BusyTime: make([]time.Duration, g.NumNodes),
 		Tasks:    s.done,
+		Fault:    s.fstats,
 	}
 	for n, nd := range s.nodes {
 		res.BusyTime[n] = nd.busy
@@ -315,10 +367,15 @@ func (s *sim) start(idx int32, at time.Duration) {
 	nd := s.nodes[t.Node]
 	core := nd.idleCores[len(nd.idleCores)-1]
 	nd.idleCores = nd.idleCores[:len(nd.idleCores)-1]
+	// A paused node starts nothing until its window ends; a slow core
+	// stretches the task inside its timed window — both mirror the real
+	// engine's worker loop.
+	at = s.pausedUntil(t.Node, at)
 	d := s.opts.Cost(t)
 	if d < 0 {
 		d = 0
 	}
+	d += s.slowCoreExtra(t.Node, core)
 	nd.busy += d
 	end := at + d
 	if s.opts.Trace != nil && (s.opts.TraceNode < 0 || s.opts.TraceNode == t.Node) {
@@ -350,18 +407,63 @@ func (s *sim) release(idx int32, at time.Duration) {
 				// reaches zero carries the departure time.
 				s.bundleRem[bi]--
 				if s.bundleRem[bi] == 0 {
-					b := &s.bundles[bi]
-					arrive := s.opts.Fabric.SendBundle(int(b.Src), int(b.Dst), b.WireBytes(), len(b.Members), at)
-					s.seq++
-					heap.Push(&s.events, event{at: arrive, seq: s.seq, kind: evBundleArrive, task: bi, node: b.Dst})
+					s.sendBundleAt(bi, at)
 				}
 				continue
 			}
-			arrive := s.opts.Fabric.Send(int(t.Node), int(c.Node), d.Bytes, at)
-			s.seq++
-			heap.Push(&s.events, event{at: arrive, seq: s.seq, kind: evMsgArrive, task: sIdx, node: c.Node})
+			s.sendMsg(sIdx, int32(di), at)
 		}
 	}
+}
+
+// deferPastPause reschedules a send whose source node sits inside a
+// fault-injected pause window, firing it when the window ends. Returns
+// true when the send was deferred.
+func (s *sim) deferPastPause(src int32, at time.Duration, kind evKind, task, core int32) bool {
+	if s.fplan == nil || s.pauseUntil[src] <= at {
+		return false
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: s.pauseUntil[src], seq: s.seq, kind: kind, task: task, node: src, core: core})
+	return true
+}
+
+// sendMsg prices one point-to-point cross-node transfer departing at time
+// at (deferring first if the source node is paused) and schedules its
+// arrival.
+func (s *sim) sendMsg(sIdx, di int32, at time.Duration) {
+	c := &s.g.Tasks[sIdx]
+	d := &c.Deps[di]
+	src := s.g.Tasks[d.Producer].Node
+	if s.deferPastPause(src, at, evSendMsg, sIdx, di) {
+		return
+	}
+	// Fault identity: exactly the fields the real engine's Message carries.
+	id := fault.MsgID{Src: src, Dst: c.Node, Task: sIdx, Dep: di}
+	arrive, ok := s.sendCross(id, d.Bytes, 0, at)
+	if !ok {
+		return
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: arrive, seq: s.seq, kind: evMsgArrive, task: sIdx, node: c.Node})
+}
+
+// sendBundleAt prices one coalesced bundle departing at time at (deferring
+// first if the source node is paused) and schedules its arrival.
+func (s *sim) sendBundleAt(bi int32, at time.Duration) {
+	b := &s.bundles[bi]
+	if s.deferPastPause(b.Src, at, evSendBundle, bi, 0) {
+		return
+	}
+	// Bundle fault identity: 1-based plan index, exactly the
+	// Message.Bundle the real engine hashes.
+	id := fault.MsgID{Src: b.Src, Dst: b.Dst, Bundle: bi + 1}
+	arrive, ok := s.sendCross(id, b.WireBytes(), len(b.Members), at)
+	if !ok {
+		return
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: arrive, seq: s.seq, kind: evBundleArrive, task: bi, node: b.Dst})
 }
 
 // satisfy accounts one input arrival for a task.

@@ -137,6 +137,37 @@ func (f *Fabric) SendBundle(src, dst int, bytes, segments int, ready time.Durati
 	return done
 }
 
+// SendDropped charges a transmission that leaves src but never reaches its
+// destination — a fault-injected drop. The sender NIC pays full
+// serialization (the bytes left the node) and the message counts as wire
+// traffic, mirroring the real engine's accounting, but the receiver is
+// untouched and no arrival time exists.
+func (f *Fabric) SendDropped(src int, bytes int, ready time.Duration) {
+	f.Messages++
+	f.BytesSent += bytes
+	ser := f.Serialization(bytes)
+	start := ready
+	if f.commFree[src] > start {
+		start = f.commFree[src]
+	}
+	f.commFree[src] = start + ser
+	f.commBusy[src] += ser
+}
+
+// Free returns the virtual time at which a node's communication thread is
+// next idle.
+func (f *Fabric) Free(node int) time.Duration { return f.commFree[node] }
+
+// Block makes a node's communication thread unavailable until the given
+// virtual time (if that is later than its current horizon) without
+// accruing busy time — a fault-injected stall or whole-node pause, during
+// which the thread does no useful work.
+func (f *Fabric) Block(node int, until time.Duration) {
+	if until > f.commFree[node] {
+		f.commFree[node] = until
+	}
+}
+
 // CommBusy returns the accumulated communication-thread busy time of a
 // node — how long its dedicated comm thread spent packing, matching and
 // streaming messages. Comparing it to the makespan shows whether a run is

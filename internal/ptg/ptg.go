@@ -38,10 +38,14 @@ const (
 	// KindComm labels communication-goroutine activity in traces (packing
 	// and fan-out on the dedicated comm thread); graph tasks never carry it.
 	KindComm
+	// KindFault labels fault-injection and recovery activity in traces
+	// (drops, duplicates, delays, retransmits, dedup, pauses); graph tasks
+	// never carry it.
+	KindFault
 	NumKinds
 )
 
-var kindNames = [NumKinds]string{"init", "interior", "boundary", "comm"}
+var kindNames = [NumKinds]string{"init", "interior", "boundary", "comm", "fault"}
 
 func (k Kind) String() string {
 	if k >= NumKinds {

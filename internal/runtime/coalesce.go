@@ -236,11 +236,7 @@ func (ex *executor) sendBundle(e ptg.Env, nd *execNode, bi int32) (segs, bytes i
 	ex.bytesSent.Add(int64(len(buf)))
 	ex.bundlesSent.Add(1)
 	ex.bundleSegments.Add(int64(len(b.members)))
-	if ex.opts.Intercept != nil {
-		ex.opts.Intercept(m, ex.deliver)
-	} else {
-		ex.deliver(m)
-	}
+	ex.dispatch(nd, m)
 	return len(b.members), len(buf)
 }
 
@@ -284,10 +280,26 @@ func (ex *executor) reqTransfers(r sendReq) int64 {
 	return 1
 }
 
-// msgTransfers is reqTransfers for an in-flight message.
+// msgTransfers is reqTransfers for an in-flight message. Acks are control
+// traffic, not data transfers, so a discarded ack counts for nothing.
 func (ex *executor) msgTransfers(m Message) int64 {
+	if m.Ack {
+		return 0
+	}
 	if m.Bundle != 0 {
 		return int64(len(ex.bundles[m.Bundle-1].members))
 	}
 	return 1
+}
+
+// droppedTransfers is the Result.Dropped weight of an undeliverable
+// physical message. Under the reliable transport a sequenced copy weighs
+// nothing: the original, its duplicates and its retransmissions all carry
+// the same sequence number, and whether the *logical* transfer was lost
+// is decided once, by the pending-table scan at shutdown.
+func (ex *executor) droppedTransfers(m Message) int64 {
+	if ex.reliable && m.Seq != 0 {
+		return 0
+	}
+	return ex.msgTransfers(m)
 }

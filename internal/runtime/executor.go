@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"castencil/internal/fault"
 	"castencil/internal/ptg"
 	"castencil/internal/trace"
 )
@@ -29,7 +30,16 @@ type Message struct {
 	// Bundle is the 1-based bundle id of a coalesced message; 0 marks an
 	// ordinary point-to-point transfer.
 	Bundle int32
-	Data   []byte
+	// Seq is the message's per-(src,dst)-lane sequence number under the
+	// reliable transport (first message is 1; 0 marks an unsequenced
+	// message on the plain zero-copy wire). Ack marks an acknowledgement
+	// for Seq — a header-only control message carrying no payload.
+	// Attempt is the delivery attempt (0 = original transmission) and
+	// keys the fault plan's per-attempt decisions.
+	Seq     uint64
+	Ack     bool
+	Attempt int32
+	Data    []byte
 }
 
 // Interceptor lets tests and examples wrap message delivery (to inject
@@ -63,6 +73,21 @@ type Options struct {
 	// implementations must therefore hand over ownership of their returned
 	// buffer — the same convention point-to-point receivers already apply.
 	Coalesce ptg.CoalesceMode
+	// Fault, when non-nil, injects the plan's deterministic faults into
+	// the wire path (dropped/duplicated/delayed/reordered messages, slow
+	// cores, comm stalls, node pauses). Message-level decisions are keyed
+	// by graph identity, so a simulated run with the same plan injects a
+	// byte-identical schedule. Plans that drop or duplicate (or pause
+	// nodes) auto-enable the reliable transport with DefaultRecovery when
+	// Recovery is nil.
+	Fault *fault.Plan
+	// Recovery, when non-nil, enables the reliable transport: per-lane
+	// sequence numbers, ack + retransmit with exponential backoff,
+	// receiver-side dedup (delivery stays exactly-once whatever the wire
+	// does), and fail-fast degradation with a structured *fault.Report
+	// when a message stays unacknowledged past the deadline. Zero-value
+	// fields take the fault.DefaultRecovery policy.
+	Recovery *fault.Recovery
 	// Trace, when non-nil, receives one event per executed task.
 	Trace *trace.Trace
 	// TraceComm additionally records one trace.Event per wire message
@@ -103,6 +128,9 @@ type Result struct {
 	NodeLocalHits []int
 	NodeSteals    []int
 	NodeParks     []int
+	// Fault counts injected faults and the recovery work that masked
+	// them (all zero without a fault plan / the reliable transport).
+	Fault fault.Stats
 }
 
 // BundleFill returns the average number of member payloads per coalesced
@@ -150,6 +178,15 @@ type execNode struct {
 	// commReady is the comm goroutine's scratch for batched successor
 	// release after a bundle fan-out (only that goroutine touches it).
 	commReady []int32
+
+	// Fault-injection/recovery state (see fault.go; all nil/zero without
+	// a plan or the reliable transport). rel and outSeq are comm-goroutine
+	// owned; coreSeq[c] is owned by the worker goroutine of core c;
+	// pauseUntil (unix nanos) gates the whole node through maybePause.
+	rel        *relState
+	outSeq     int
+	coreSeq    []int
+	pauseUntil atomic.Int64
 }
 
 // wake bumps the wake sequence and wakes up to n parked workers. Called by
@@ -193,6 +230,19 @@ type executor struct {
 	bundleSegments atomic.Int64
 	dropped        atomic.Int64
 
+	// Fault layer (see fault.go): the plan (nil = no injection), the
+	// recovery policy (reliable = Recovery enabled), the counters, and
+	// the wait group tracking background deliveries (injected delays,
+	// overflow enqueues) so the final accounting sweep is exact.
+	fplan    *fault.Plan
+	rec      fault.Recovery
+	reliable bool
+	bgWg     sync.WaitGroup
+	fStats   struct {
+		dropped, duplicated, delayed    atomic.Int64
+		retransmits, dupDrops, timeouts atomic.Int64
+	}
+
 	errMu  sync.Mutex
 	runErr error
 }
@@ -221,6 +271,15 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = 1
 	}
+	if err := opts.Fault.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Recovery == nil && opts.Fault.NeedsRecovery() {
+		// Drops need retransmit, duplicates need dedup, pauses need the
+		// fail-fast deadline: injecting them over the plain wire would
+		// hang or corrupt, so the reliable transport comes on by default.
+		opts.Recovery = fault.DefaultRecovery()
+	}
 	ex := &executor{
 		g:         g,
 		opts:      opts,
@@ -231,6 +290,13 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 		finished:  make(chan struct{}),
 		nodeTasks: make([]atomic.Int64, g.NumNodes),
 		nodeBusy:  make([]atomic.Int64, g.NumNodes),
+	}
+	if opts.Fault.Active() {
+		ex.fplan = opts.Fault
+	}
+	if opts.Recovery != nil {
+		ex.reliable = true
+		ex.rec = opts.Recovery.WithDefaults()
 	}
 	if err := ex.planBundles(); err != nil {
 		return nil, err
@@ -273,6 +339,12 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 				nd.deques[w] = newDeque()
 			}
 		}
+		if ex.reliable {
+			nd.rel = newRelState(g.NumNodes)
+		}
+		if ex.fplan != nil {
+			nd.coreSeq = make([]int, opts.Workers)
+		}
 		nd.env = env{node: nd.id, store: nd.store}
 		nd.cond = sync.NewCond(&nd.mu)
 		ex.nodes[n] = nd
@@ -311,6 +383,9 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 	<-ex.finished
 	elapsed := time.Since(ex.t0)
 	wg.Wait()
+	// Wait out background deliveries (injected delays, overflow enqueues)
+	// so the final accounting sweep below sees every in-flight copy.
+	ex.bgWg.Wait()
 
 	// Final sweep: workers may post send requests after their node's comm
 	// goroutine has drained and exited (queued tasks keep running after a
@@ -323,9 +398,22 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 			case r := <-nd.sendQ:
 				ex.dropped.Add(ex.reqTransfers(r))
 			case m := <-nd.inbox:
-				ex.dropped.Add(ex.msgTransfers(m))
+				ex.dropped.Add(ex.droppedTransfers(m))
 			default:
 				drained = false
+			}
+		}
+	}
+	// Under the reliable transport a logical transfer is lost exactly when
+	// its sender still holds it unacknowledged and its receiver never saw
+	// the sequence number (however many physical copies were in flight).
+	// All goroutines are gone, so both tables are quiescent.
+	if ex.reliable {
+		for _, nd := range ex.nodes {
+			for k, p := range nd.rel.outstanding {
+				if _, ok := ex.nodes[k.peer].rel.seen[laneSeq{peer: nd.id, seq: k.seq}]; !ok {
+					ex.dropped.Add(ex.msgTransfers(p.m))
+				}
 			}
 		}
 	}
@@ -357,6 +445,7 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 		NodeLocalHits: make([]int, g.NumNodes),
 		NodeSteals:    make([]int, g.NumNodes),
 		NodeParks:     make([]int, g.NumNodes),
+		Fault:         ex.faultStats(),
 	}
 	for n := 0; n < g.NumNodes; n++ {
 		res.NodeTasks[n] = int(ex.nodeTasks[n].Load())
@@ -443,6 +532,7 @@ func (ex *executor) worker(nd *execNode, core int32, wg *sync.WaitGroup) {
 	}
 	var ready []int32 // per-worker scratch for batched successor release
 	for {
+		ex.maybePause(nd)
 		nd.mu.Lock()
 		if nd.queue.size() == 0 && !ex.done.Load() {
 			nd.parks.Add(1)
@@ -473,6 +563,7 @@ func (ex *executor) workerSteal(nd *execNode, core int32) {
 	own := nd.deques[core]
 	var ready []int32
 	for {
+		ex.maybePause(nd)
 		idx, stolen, ok := ex.findWork(nd, core, own)
 		if !ok {
 			if ex.done.Load() {
@@ -529,12 +620,20 @@ func (ex *executor) runTask(nd *execNode, core int32, idx int32, stolen bool, re
 	}()
 	t := &ex.g.Tasks[idx]
 	start := time.Since(ex.t0)
+	if extra := ex.slowCoreExtra(nd, core); extra > 0 {
+		// A transiently slow core: the task simply takes longer, inside
+		// its timed window, so traces and busy accounting show the drag.
+		ex.sleepInterruptible(extra)
+	}
 	if t.Run != nil {
 		t.Run(nd.env)
 	}
 	end := time.Since(ex.t0)
-	ex.nodeTasks[nd.id].Add(1)
+	completed := ex.nodeTasks[nd.id].Add(1)
 	ex.nodeBusy[nd.id].Add(int64(end - start))
+	if ex.fplan != nil {
+		ex.notePause(nd, int(completed))
+	}
 	if ex.opts.Trace != nil {
 		ex.opts.Trace.Record(trace.Event{
 			ID: t.ID, Kind: t.Kind, Node: nd.id, Core: core,
@@ -601,12 +700,29 @@ func (ex *executor) runTask(nd *execNode, core int32, idx int32, stolen bool, re
 func (ex *executor) comm(nd *execNode, wg *sync.WaitGroup) {
 	defer wg.Done()
 	e := nd.env
+	// The reliable transport drives retransmission off a ticker at a
+	// quarter of the initial ack timeout: fine enough that a timeout is
+	// noticed promptly, coarse enough that an idle run stays idle.
+	var tickC <-chan time.Time
+	if ex.reliable {
+		iv := ex.rec.Timeout / 4
+		if iv < time.Millisecond {
+			iv = time.Millisecond
+		}
+		t := time.NewTicker(iv)
+		defer t.Stop()
+		tickC = t.C
+	}
 	for {
 		select {
 		case req := <-nd.sendQ:
+			ex.maybePause(nd)
 			ex.send(e, nd, req)
 		case m := <-nd.inbox:
+			ex.maybePause(nd)
 			ex.receive(nd, m)
+		case <-tickC:
+			ex.retransmitDue(nd)
 		case <-ex.finished:
 			// Drain anything already queued, counting the discards: a
 			// dropped transfer is data the accounting says moved (or was
@@ -617,7 +733,7 @@ func (ex *executor) comm(nd *execNode, wg *sync.WaitGroup) {
 				case r := <-nd.sendQ:
 					ex.dropped.Add(ex.reqTransfers(r))
 				case m := <-nd.inbox:
-					ex.dropped.Add(ex.msgTransfers(m))
+					ex.dropped.Add(ex.droppedTransfers(m))
 				default:
 					return
 				}
@@ -629,19 +745,36 @@ func (ex *executor) comm(nd *execNode, wg *sync.WaitGroup) {
 // deliver enqueues a message at its destination node. Deliveries after
 // shutdown (an interceptor completing late, or any message racing the
 // drain) are counted as dropped instead of being parked forever in a dead
-// inbox.
+// inbox. Inboxes are sized for the plain dataflow's exact message count;
+// recovery traffic (acks, duplicates, retransmissions) can exceed that, so
+// a full inbox diverts to a tracked background enqueue rather than
+// blocking the sending comm goroutine (two mutually full peers would
+// deadlock).
 func (ex *executor) deliver(m Message) {
 	if ex.done.Load() {
-		ex.dropped.Add(ex.msgTransfers(m))
+		ex.dropped.Add(ex.droppedTransfers(m))
 		return
 	}
-	ex.nodes[m.Dst].inbox <- m
+	select {
+	case ex.nodes[m.Dst].inbox <- m:
+	default:
+		ex.bgWg.Add(1)
+		go func() {
+			defer ex.bgWg.Done()
+			select {
+			case ex.nodes[m.Dst].inbox <- m:
+			case <-ex.finished:
+				ex.dropped.Add(ex.droppedTransfers(m))
+			}
+		}()
+	}
 }
 
 // send dispatches one send request — a coalesced bundle or a point-to-point
 // payload — and, when comm tracing is on, records the handling as a
 // KindComm event on the node's comm pseudo-core (index Workers).
 func (ex *executor) send(e ptg.Env, nd *execNode, req sendReq) {
+	ex.maybeStall(nd)
 	var start time.Duration
 	if ex.traceComm {
 		start = time.Since(ex.t0)
@@ -679,17 +812,20 @@ func (ex *executor) sendOne(e ptg.Env, nd *execNode, req sendReq) (segs, bytes i
 	m := Message{Src: nd.id, Dst: consumer.Node, Task: req.task, Dep: req.dep, Data: data}
 	ex.messages.Add(1)
 	ex.bytesSent.Add(int64(len(data)))
-	if ex.opts.Intercept != nil {
-		ex.opts.Intercept(m, ex.deliver)
-	} else {
-		ex.deliver(m)
-	}
+	ex.dispatch(nd, m)
 	return 1, len(data)
 }
 
 // receive dispatches one inbound message, with the same optional comm
 // tracing as send.
 func (ex *executor) receive(nd *execNode, m Message) {
+	if m.Ack {
+		ex.handleAck(nd, m)
+		return
+	}
+	if ex.reliable && m.Seq != 0 && ex.dedup(nd, m) {
+		return
+	}
 	var start time.Duration
 	if ex.traceComm {
 		start = time.Since(ex.t0)

@@ -1,0 +1,229 @@
+package castencil
+
+import (
+	"fmt"
+
+	"castencil/internal/core"
+	"castencil/internal/fault"
+	"castencil/internal/runtime"
+)
+
+// This file is the redesigned run API: one RunOptions bag configured by
+// functional options, consumed by the Run (real execution) and Sim
+// (virtual-time prediction) entry points. The older RunReal/Simulate
+// entry points with their engine-specific option structs remain as thin
+// deprecated wrappers; both APIs drive the same engines and produce
+// bitwise-identical results for equivalent settings.
+//
+//	res, err := castencil.Run(castencil.CA, cfg,
+//	    castencil.WithSched(castencil.WorkStealing),
+//	    castencil.WithCoalesce(castencil.CoalesceAuto),
+//	    castencil.WithFaultPlan(plan))
+
+// FaultPlan is a deterministic, seedable fault-injection schedule: dropped,
+// duplicated, delayed and reordered wire messages, transiently slow cores,
+// comm-thread stalls and whole-node pauses. Message-level decisions are
+// pure functions of (seed, message identity), so the real runtime and the
+// virtual-time simulator inject byte-identical schedules for the same
+// plan. Build one directly or parse a spec string with ParseFaultPlan.
+type FaultPlan = fault.Plan
+
+// FaultRecovery is the reliable-transport policy layered under a fault
+// plan: ack timeout with exponential backoff, capped, and the degradation
+// deadline past which an unacknowledged transfer fails the run with a
+// structured *FaultReport instead of hanging.
+type FaultRecovery = fault.Recovery
+
+// FaultReport is the structured error a run returns when a transfer stays
+// unacknowledged past the recovery deadline (extract it with errors.As).
+type FaultReport = fault.Report
+
+// FaultStats counts injected faults and the recovery work that masked
+// them; available on both engines' results.
+type FaultStats = fault.Stats
+
+// Fault-plan building blocks for time-domain faults.
+type (
+	SlowCore  = fault.SlowCore
+	CommStall = fault.CommStall
+	NodePause = fault.NodePause
+)
+
+// FaultSpecSyntax documents the -fault spec grammar ParseFaultPlan
+// accepts, for flag help.
+const FaultSpecSyntax = fault.SpecSyntax
+
+// ParseFaultPlan parses a command-line fault spec such as
+// "drop=0.01,dup=0.02,seed=7" ("", "off" and "none" mean no plan).
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return fault.ParsePlan(spec) }
+
+// DefaultFaultRecovery returns the default reliable-transport policy —
+// what a fault plan that drops, duplicates or pauses enables on its own
+// when no explicit recovery is configured.
+func DefaultFaultRecovery() *FaultRecovery { return fault.DefaultRecovery() }
+
+// Interceptor wraps every inter-node message of a real run (testing hook;
+// recovery traffic such as acks bypasses it).
+type Interceptor = runtime.Interceptor
+
+// RunOptions is the unified option bag for both execution engines. The
+// zero value is a sensible default (one worker per node, shared-queue
+// FIFO scheduling, no coalescing, no faults). Construct it through
+// functional options to Run and Sim rather than literally — new fields
+// will be added without breaking that style.
+type RunOptions struct {
+	// Workers is the number of compute goroutines per virtual node in a
+	// real run (default 1).
+	Workers int
+	// Sched and Policy select the real runtime's scheduler architecture
+	// and ready-queue discipline. SimFIFO orders the simulator's wait
+	// queue FIFO instead of its default priority discipline (the
+	// simulator's scheduling is a separate, simpler model).
+	Sched   Sched
+	Policy  Policy
+	SimFIFO bool
+	// Coalesce selects halo-bundle coalescing on either engine.
+	Coalesce CoalesceMode
+	// Fault injects a deterministic fault schedule; Recovery overrides the
+	// reliable-transport policy (nil auto-enables the default for plans
+	// that drop, duplicate or pause).
+	Fault    *FaultPlan
+	Recovery *FaultRecovery
+	// Trace collects per-task events (real or virtual time). TraceComm
+	// additionally records wire events in a real run; TraceNode limits
+	// collection to one node in a simulated run (-1 = all nodes).
+	Trace     *Trace
+	TraceComm bool
+	TraceNode int32
+	// Intercept wraps every inter-node message of a real run.
+	Intercept Interceptor
+	// Machine is the cluster model a simulated run prices against
+	// (required by Sim, unused by Run).
+	Machine *Machine
+	// Ratio is the paper's kernel-adjustment ratio for simulated runs
+	// (0 or 1 = full kernel).
+	Ratio float64
+}
+
+// Option mutates RunOptions; pass any number to Run or Sim.
+type Option func(*RunOptions)
+
+// WithWorkers sets the number of compute goroutines per virtual node in a
+// real run.
+func WithWorkers(n int) Option { return func(o *RunOptions) { o.Workers = n } }
+
+// WithSched selects the scheduler architecture (SharedQueue or
+// WorkStealing) for a real run.
+func WithSched(s Sched) Option { return func(o *RunOptions) { o.Sched = s } }
+
+// WithPolicy selects the ready-queue discipline (FIFO, LIFO,
+// PriorityOrder).
+func WithPolicy(p Policy) Option { return func(o *RunOptions) { o.Policy = p } }
+
+// WithSchedSpec applies a command-line scheduler name ("steal", "fifo",
+// "priority", ...) — the functional-option form of ParseSched.
+func WithSchedSpec(name string) (Option, error) {
+	s, p, err := runtime.ParseSched(name)
+	if err != nil {
+		return nil, err
+	}
+	return func(o *RunOptions) { o.Sched, o.Policy = s, p }, nil
+}
+
+// WithSimFIFO orders the simulator's oversubscribed-core wait queue FIFO
+// instead of the default priority discipline.
+func WithSimFIFO() Option { return func(o *RunOptions) { o.SimFIFO = true } }
+
+// WithCoalesce selects halo-bundle coalescing (CoalesceOff, CoalesceStep,
+// CoalesceAuto).
+func WithCoalesce(m CoalesceMode) Option { return func(o *RunOptions) { o.Coalesce = m } }
+
+// WithFaultPlan injects a deterministic fault schedule. Plans that drop,
+// duplicate or pause auto-enable the reliable transport with the default
+// recovery policy unless WithRecovery overrides it.
+func WithFaultPlan(p *FaultPlan) Option { return func(o *RunOptions) { o.Fault = p } }
+
+// WithRecovery overrides the reliable-transport policy (ack timeout,
+// backoff, degradation deadline). Passing a policy without a fault plan
+// still sequences and acknowledges every message — useful for measuring
+// recovery overhead on a clean wire.
+func WithRecovery(r *FaultRecovery) Option { return func(o *RunOptions) { o.Recovery = r } }
+
+// WithTrace collects per-task execution events into t.
+func WithTrace(t *Trace) Option { return func(o *RunOptions) { o.Trace = t } }
+
+// WithTraceComm additionally records one event per wire message handled
+// by each node's communication goroutine (real runs; requires WithTrace).
+func WithTraceComm() Option { return func(o *RunOptions) { o.TraceComm = true } }
+
+// WithTraceNode limits simulated-run trace collection to one node
+// (traces of large runs are expensive).
+func WithTraceNode(n int32) Option { return func(o *RunOptions) { o.TraceNode = n } }
+
+// WithIntercept wraps every inter-node message of a real run.
+func WithIntercept(i Interceptor) Option { return func(o *RunOptions) { o.Intercept = i } }
+
+// WithMachine sets the cluster model a simulated run prices against
+// (required by Sim).
+func WithMachine(m *Machine) Option { return func(o *RunOptions) { o.Machine = m } }
+
+// WithRatio sets the paper's kernel-adjustment ratio for simulated runs.
+func WithRatio(r float64) Option { return func(o *RunOptions) { o.Ratio = r } }
+
+// BuildRunOptions folds functional options into a RunOptions (exposed so
+// wrappers and tests can inspect the resolved configuration).
+func BuildRunOptions(opts ...Option) RunOptions {
+	o := RunOptions{TraceNode: -1}
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
+	}
+	return o
+}
+
+// real converts the unified options to the real engine's option struct.
+func (o RunOptions) real() ExecOptions {
+	return ExecOptions{
+		Workers:   o.Workers,
+		Sched:     o.Sched,
+		Policy:    o.Policy,
+		Coalesce:  o.Coalesce,
+		Fault:     o.Fault,
+		Recovery:  o.Recovery,
+		Trace:     o.Trace,
+		TraceComm: o.TraceComm,
+		Intercept: o.Intercept,
+	}
+}
+
+// sim converts the unified options to the simulator's option struct.
+func (o RunOptions) sim() SimOptions {
+	return SimOptions{
+		Machine:   o.Machine,
+		Ratio:     o.Ratio,
+		FIFO:      o.SimFIFO,
+		Trace:     o.Trace,
+		TraceNode: o.TraceNode,
+		Coalesce:  o.Coalesce,
+		Fault:     o.Fault,
+		Recovery:  o.Recovery,
+	}
+}
+
+// Run executes a stencil variant on the concurrent runtime — numerically
+// exact, bitwise identical to the sequential reference whatever the
+// scheduling, coalescing or (masked) fault injection. It replaces RunReal.
+func Run(v Variant, cfg Config, opts ...Option) (*RealResult, error) {
+	return core.RunReal(v, cfg, BuildRunOptions(opts...).real())
+}
+
+// Sim predicts a stencil variant's performance on a machine model in
+// virtual time. WithMachine is required. It replaces Simulate.
+func Sim(v Variant, cfg Config, opts ...Option) (*SimResult, error) {
+	o := BuildRunOptions(opts...)
+	if o.Machine == nil {
+		return nil, fmt.Errorf("castencil: Sim requires WithMachine")
+	}
+	return core.Simulate(v, cfg, o.sim())
+}

@@ -1,0 +1,213 @@
+package castencil_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	castencil "castencil"
+)
+
+// sameGrids reports bitwise equality of two gathered result grids.
+func sameGrids(t *testing.T, a, b *castencil.Tile) bool {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		t.Fatalf("grid shapes differ: %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for r := 0; r < a.Rows; r++ {
+		for c := 0; c < a.Cols; c++ {
+			if math.Float64bits(a.At(r, c)) != math.Float64bits(b.At(r, c)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBuildRunOptions(t *testing.T) {
+	o := castencil.BuildRunOptions()
+	if o.TraceNode != -1 {
+		t.Errorf("default TraceNode = %d, want -1", o.TraceNode)
+	}
+	plan := &castencil.FaultPlan{Seed: 3, Drop: 0.1}
+	o = castencil.BuildRunOptions(
+		castencil.WithWorkers(4),
+		nil, // nil options are skipped, so conditional chains compose
+		castencil.WithSched(castencil.WorkStealing),
+		castencil.WithCoalesce(castencil.CoalesceStep),
+		castencil.WithFaultPlan(plan),
+		castencil.WithSimFIFO(),
+	)
+	if o.Workers != 4 || o.Sched != castencil.WorkStealing ||
+		o.Coalesce != castencil.CoalesceStep || o.Fault != plan || !o.SimFIFO {
+		t.Errorf("options not applied: %+v", o)
+	}
+	sched, err := castencil.WithSchedSpec("priority")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o = castencil.BuildRunOptions(sched)
+	if o.Sched != castencil.SharedQueue || o.Policy != castencil.PriorityOrder {
+		t.Errorf("WithSchedSpec: %+v", o)
+	}
+	if _, err := castencil.WithSchedSpec("bogus"); err == nil {
+		t.Error("WithSchedSpec accepted a bad name")
+	}
+}
+
+// TestRunMatchesDeprecatedRunReal drives the deprecated wrapper and the new
+// entry point with equivalent settings across the option surface the real
+// engine understands: results must be bitwise identical, wire accounting
+// equal.
+func TestRunMatchesDeprecatedRunReal(t *testing.T) {
+	cfg := castencil.Config{N: 48, TileRows: 6, P: 2, Steps: 10, StepSize: 3}
+	plan := &castencil.FaultPlan{Seed: 11, Drop: 0.1, Dup: 0.1, Delay: 0.2, DelayBy: 100 * time.Microsecond}
+	cases := []struct {
+		name string
+		opts []castencil.Option
+		old  castencil.ExecOptions
+	}{
+		{"defaults", nil, castencil.ExecOptions{}},
+		{"steal+coalesce",
+			[]castencil.Option{castencil.WithWorkers(2), castencil.WithSched(castencil.WorkStealing), castencil.WithCoalesce(castencil.CoalesceStep)},
+			castencil.ExecOptions{Workers: 2, Sched: castencil.WorkStealing, Coalesce: castencil.CoalesceStep}},
+		{"lifo-policy",
+			[]castencil.Option{castencil.WithPolicy(castencil.LIFO)},
+			castencil.ExecOptions{Policy: castencil.LIFO}},
+		{"faulty",
+			[]castencil.Option{castencil.WithWorkers(2), castencil.WithCoalesce(castencil.CoalesceStep), castencil.WithFaultPlan(plan)},
+			castencil.ExecOptions{Workers: 2, Coalesce: castencil.CoalesceStep, Fault: plan}},
+	}
+	for _, v := range []castencil.Variant{castencil.Base, castencil.CA} {
+		for _, c := range cases {
+			neu, err := castencil.Run(v, cfg, c.opts...)
+			if err != nil {
+				t.Fatalf("%v/%s: Run: %v", v, c.name, err)
+			}
+			old, err := castencil.RunReal(v, cfg, c.old)
+			if err != nil {
+				t.Fatalf("%v/%s: RunReal: %v", v, c.name, err)
+			}
+			if !sameGrids(t, neu.Grid, old.Grid) {
+				t.Errorf("%v/%s: grids differ between Run and RunReal", v, c.name)
+			}
+			if d := castencil.Verify(cfg, neu); d != 0 {
+				t.Errorf("%v/%s: max diff vs oracle = %v, want 0", v, c.name, d)
+			}
+			if neu.Exec.Messages != old.Exec.Messages || neu.Exec.BytesSent != old.Exec.BytesSent {
+				t.Errorf("%v/%s: wire accounting differs: (%d msgs, %d B) vs (%d msgs, %d B)",
+					v, c.name, neu.Exec.Messages, neu.Exec.BytesSent, old.Exec.Messages, old.Exec.BytesSent)
+			}
+			if neu.Exec.Fault != old.Exec.Fault {
+				t.Errorf("%v/%s: fault stats differ: %v vs %v", v, c.name, neu.Exec.Fault, old.Exec.Fault)
+			}
+		}
+	}
+}
+
+// TestSimMatchesDeprecatedSimulate drives the deprecated wrapper and the
+// new entry point with equivalent settings: virtual-time predictions are
+// deterministic, so every field must match exactly.
+func TestSimMatchesDeprecatedSimulate(t *testing.T) {
+	cfg := castencil.Config{N: 2880, TileRows: 288, P: 2, Steps: 5, StepSize: 5}
+	plan := &castencil.FaultPlan{Seed: 5, Drop: 0.05}
+	cases := []struct {
+		name string
+		opts []castencil.Option
+		old  castencil.SimOptions
+	}{
+		{"plain",
+			[]castencil.Option{castencil.WithMachine(castencil.NaCL())},
+			castencil.SimOptions{Machine: castencil.NaCL()}},
+		{"ratio+fifo+coalesce",
+			[]castencil.Option{castencil.WithMachine(castencil.Stampede2()), castencil.WithRatio(0.4), castencil.WithSimFIFO(), castencil.WithCoalesce(castencil.CoalesceStep)},
+			castencil.SimOptions{Machine: castencil.Stampede2(), Ratio: 0.4, FIFO: true, Coalesce: castencil.CoalesceStep}},
+		{"faulty",
+			[]castencil.Option{castencil.WithMachine(castencil.NaCL()), castencil.WithFaultPlan(plan)},
+			castencil.SimOptions{Machine: castencil.NaCL(), Fault: plan}},
+	}
+	for _, v := range []castencil.Variant{castencil.Base, castencil.CA} {
+		for _, c := range cases {
+			neu, err := castencil.Sim(v, cfg, c.opts...)
+			if err != nil {
+				t.Fatalf("%v/%s: Sim: %v", v, c.name, err)
+			}
+			old, err := castencil.Simulate(v, cfg, c.old)
+			if err != nil {
+				t.Fatalf("%v/%s: Simulate: %v", v, c.name, err)
+			}
+			if neu.Makespan != old.Makespan || neu.Messages != old.Messages ||
+				neu.BytesSent != old.BytesSent || neu.Bundles != old.Bundles ||
+				neu.Fault != old.Fault {
+				t.Errorf("%v/%s: Sim and Simulate disagree:\n  new %+v\n  old %+v", v, c.name, neu, old)
+			}
+		}
+	}
+}
+
+func TestSimRequiresMachine(t *testing.T) {
+	cfg := castencil.Config{N: 2880, TileRows: 288, P: 2, Steps: 5, StepSize: 5}
+	if _, err := castencil.Sim(castencil.CA, cfg); err == nil {
+		t.Fatal("Sim without WithMachine should fail")
+	}
+}
+
+// TestFacadeFaultDeterminism is the facade-level determinism claim: a
+// maskable fault schedule (drops, duplicates, delays — all recoverable)
+// leaves the numerics bitwise identical to the clean run, on both variants
+// and both code paths (p2p and coalesced), while the fault counters show
+// the schedule actually fired.
+func TestFacadeFaultDeterminism(t *testing.T) {
+	cfg := castencil.Config{N: 48, TileRows: 6, P: 2, Steps: 12, StepSize: 4}
+	plan := &castencil.FaultPlan{Seed: 23, Drop: 0.1, Dup: 0.1, Delay: 0.2, DelayBy: 100 * time.Microsecond}
+	for _, v := range []castencil.Variant{castencil.Base, castencil.CA} {
+		for _, mode := range []castencil.CoalesceMode{castencil.CoalesceOff, castencil.CoalesceStep} {
+			clean, err := castencil.Run(v, cfg, castencil.WithWorkers(2), castencil.WithCoalesce(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			faulty, err := castencil.Run(v, cfg, castencil.WithWorkers(2), castencil.WithCoalesce(mode),
+				castencil.WithFaultPlan(plan))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !faulty.Exec.Fault.Any() {
+				t.Errorf("%v/%v: plan injected nothing", v, mode)
+			}
+			if !sameGrids(t, clean.Grid, faulty.Grid) {
+				t.Errorf("%v/%v: faulted grid diverged from clean run", v, mode)
+			}
+		}
+	}
+}
+
+// TestFacadeFaultReportPausedNode pauses one node for far longer than the
+// recovery deadline: the run must terminate promptly with a structured
+// FaultReport blaming that node, not hang.
+func TestFacadeFaultReportPausedNode(t *testing.T) {
+	cfg := castencil.Config{N: 48, TileRows: 6, P: 2, Steps: 12, StepSize: 4}
+	plan := &castencil.FaultPlan{
+		Seed:   1,
+		Pauses: []castencil.NodePause{{Node: 1, AfterTasks: 2, Pause: 10 * time.Second}},
+	}
+	rec := &castencil.FaultRecovery{Timeout: 5 * time.Millisecond, Deadline: 40 * time.Millisecond}
+	start := time.Now()
+	_, err := castencil.Run(castencil.Base, cfg,
+		castencil.WithWorkers(2),
+		castencil.WithFaultPlan(plan),
+		castencil.WithRecovery(rec))
+	if err == nil {
+		t.Fatal("run with a 10s node pause and a 40ms deadline should fail")
+	}
+	var rep *castencil.FaultReport
+	if !errors.As(err, &rep) {
+		t.Fatalf("error is not a *FaultReport: %v", err)
+	}
+	if rep.ID.Dst != 1 {
+		t.Errorf("report blames node %d, want the paused node 1 (%v)", rep.ID.Dst, rep)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("degradation took %v; the 10s pause leaked into the run", elapsed)
+	}
+}
