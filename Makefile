@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-sched bench-comm bench-fault check
+.PHONY: all build vet test race bench-smoke bench bench-sched bench-comm bench-fault bench-serve serve check
 
 all: check
 
@@ -49,6 +49,16 @@ bench-fault:
 		-benchtime 20x -benchmem \
 		./internal/core/
 	$(GO) run ./cmd/stencilbench -exp fault -quick
+
+# Service-layer sweep behind BENCH_5.json: offered load vs throughput and
+# completion-latency percentiles through the job manager, plus the
+# single-job service tax vs direct castencil.Run.
+bench-serve:
+	$(GO) run ./cmd/stencilbench -exp serve -quick
+
+# Run the stencil-as-a-service daemon locally.
+serve:
+	$(GO) run ./cmd/stencild -listen :8421 -maxjobs 2 -queue 64
 
 # Full measurement run behind BENCH_1.json.
 bench:

@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig5, fig6, fig7, fig8, fig9, fig10, roofline, headline, future, ninepoint, autoplan, sched, weak, coalesce, fault")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig5, fig6, fig7, fig8, fig9, fig10, roofline, headline, future, ninepoint, autoplan, sched, weak, coalesce, fault, serve")
 	quick := flag.Bool("quick", false, "quarter-scale workloads, 10 iterations (fast)")
 	host := flag.Bool("host", false, "table1: run a real STREAM benchmark on this host too")
 	gantt := flag.Int("gantt", 0, "fig10: also print text Gantt charts of the given width")
@@ -195,6 +195,14 @@ func main() {
 		}},
 		{"fault", func() error {
 			r, err := bench.FaultAblation(p)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"serve", func() error {
+			r, err := bench.Serve(p)
 			if err != nil {
 				return err
 			}

@@ -43,6 +43,7 @@ func main() {
 	verify := flag.Bool("verify", false, "real engine: compare against the sequential oracle")
 	traceOut := flag.String("trace", "", "write a CSV trace to this file (sim: node 0; real: all nodes)")
 	planMode := flag.Bool("plan", false, "run the automatic step-size planner instead of a single config")
+	autoPlan := flag.Bool("autoplan", false, "plan first, then execute the recommended configuration (overrides -impl/-stepsize)")
 	dotOut := flag.String("dot", "", "write the task graph in Graphviz DOT format to this file and exit (small configs only)")
 	flag.Parse()
 
@@ -100,6 +101,21 @@ func main() {
 		return
 	}
 
+	if *autoPlan {
+		plan, err := castencil.AutoPlan(cfg, m, *ratio, nil)
+		if err != nil {
+			fail(err)
+		}
+		if plan.UseCA() {
+			*impl = "ca"
+			cfg.StepSize = plan.BestStepSize
+			fmt.Printf("autoplan: CA s=%d (%.1f GFLOP/s predicted on %s)\n", plan.BestStepSize, plan.BestGFLOPS, m.Name)
+		} else {
+			*impl = "base"
+			fmt.Printf("autoplan: base (%.1f GFLOP/s predicted on %s)\n", plan.BestGFLOPS, m.Name)
+		}
+	}
+
 	if *impl == "petsc" {
 		perf, err := petsc.ModelPerf(m, *n, *nodes, *steps)
 		if err != nil {
@@ -140,7 +156,7 @@ func main() {
 		}
 		fmt.Printf("%s on %s, %d nodes, N=%d tile=%d steps=%d", variant, m.Name, *nodes, *n, *tile, *steps)
 		if variant == castencil.CA {
-			fmt.Printf(" s=%d", *stepSize)
+			fmt.Printf(" s=%d", cfg.StepSize)
 		}
 		if *ratio != 1 {
 			fmt.Printf(" ratio=%.2f", *ratio)

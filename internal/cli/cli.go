@@ -10,6 +10,8 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"net"
+	"strconv"
 
 	"castencil/internal/fault"
 	"castencil/internal/machine"
@@ -144,5 +146,78 @@ func (f *FaultFlag) Set(s string) error {
 func FaultVar(fs *flag.FlagSet) *FaultFlag {
 	f := &FaultFlag{}
 	fs.Var(f, "fault", "fault-injection spec, e.g. \"drop=0.01,seed=7\"; grammar: "+fault.SpecSyntax)
+	return f
+}
+
+// ListenFlag is the -listen flag: a TCP listen address validated at
+// flag-parse time (net.SplitHostPort rules, port required), so a daemon
+// fails before binding rather than at first request.
+type ListenFlag struct {
+	Addr string
+}
+
+func (f *ListenFlag) String() string { return f.Addr }
+
+func (f *ListenFlag) Set(s string) error {
+	host, port, err := net.SplitHostPort(s)
+	if err != nil {
+		return fmt.Errorf("listen address %q: %v", s, err)
+	}
+	if port == "" {
+		return fmt.Errorf("listen address %q has no port", s)
+	}
+	if _, err := net.LookupPort("tcp", port); err != nil {
+		return fmt.Errorf("listen address %q: bad port: %v", s, err)
+	}
+	_ = host // empty host = all interfaces, valid
+	f.Addr = s
+	return nil
+}
+
+// ListenVar registers -listen on fs with the given default address. A bad
+// default panics.
+func ListenVar(fs *flag.FlagSet, def string) *ListenFlag {
+	f := &ListenFlag{}
+	if err := f.Set(def); err != nil {
+		panic(fmt.Sprintf("cli: bad default -listen %q: %v", def, err))
+	}
+	fs.Var(f, "listen", "TCP listen address (host:port; empty host = all interfaces)")
+	return f
+}
+
+// PosIntFlag is a strictly positive integer flag (daemon sizing knobs:
+// -maxjobs, -queue). Zero or negative values fail at parse time.
+type PosIntFlag struct {
+	name string
+	N    int
+}
+
+func (f *PosIntFlag) String() string { return strconv.Itoa(f.N) }
+
+func (f *PosIntFlag) Set(s string) error {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return fmt.Errorf("-%s %q: %v", f.name, s, err)
+	}
+	if n < 1 {
+		return fmt.Errorf("-%s must be >= 1, got %d", f.name, n)
+	}
+	f.N = n
+	return nil
+}
+
+// MaxJobsVar registers -maxjobs: the daemon's executor pool size (jobs
+// running concurrently).
+func MaxJobsVar(fs *flag.FlagSet, def int) *PosIntFlag {
+	f := &PosIntFlag{name: "maxjobs", N: def}
+	fs.Var(f, "maxjobs", "jobs executing concurrently (executor pool size)")
+	return f
+}
+
+// QueueVar registers -queue: the daemon's admission queue bound, past
+// which submissions are rejected with backpressure.
+func QueueVar(fs *flag.FlagSet, def int) *PosIntFlag {
+	f := &PosIntFlag{name: "queue", N: def}
+	fs.Var(f, "queue", "admission queue bound (submissions past it get 429)")
 	return f
 }

@@ -95,3 +95,42 @@ func TestBadDefaultsPanic(t *testing.T) {
 	}()
 	SchedVar(newSet(t), "bogus")
 }
+
+func TestListenFlag(t *testing.T) {
+	fs := newSet(t)
+	f := ListenVar(fs, ":8080")
+	if f.Addr != ":8080" {
+		t.Fatalf("default = %q", f.Addr)
+	}
+	if err := fs.Parse([]string{"-listen", "127.0.0.1:9000"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Addr != "127.0.0.1:9000" {
+		t.Fatalf("got %q", f.Addr)
+	}
+	for _, bad := range []string{"no-port", "127.0.0.1", ":notaport", ""} {
+		if err := fs.Parse([]string{"-listen", bad}); err == nil {
+			t.Errorf("bad address %q accepted", bad)
+		}
+	}
+}
+
+func TestPosIntFlags(t *testing.T) {
+	fs := newSet(t)
+	mj := MaxJobsVar(fs, 2)
+	q := QueueVar(fs, 64)
+	if mj.N != 2 || q.N != 64 {
+		t.Fatalf("defaults = %d, %d", mj.N, q.N)
+	}
+	if err := fs.Parse([]string{"-maxjobs", "4", "-queue", "128"}); err != nil {
+		t.Fatal(err)
+	}
+	if mj.N != 4 || q.N != 128 {
+		t.Fatalf("got %d, %d", mj.N, q.N)
+	}
+	for _, bad := range []string{"0", "-1", "two"} {
+		if err := fs.Parse([]string{"-maxjobs", bad}); err == nil {
+			t.Errorf("bad -maxjobs %q accepted", bad)
+		}
+	}
+}

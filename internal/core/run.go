@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -110,6 +111,11 @@ type SimOptions struct {
 	// transport (auto-enabled for plans that need it).
 	Fault    *fault.Plan
 	Recovery *fault.Recovery
+	// Ctx bounds the simulation in wall-clock time (nil = uninterruptible);
+	// a cancelled or deadline-exceeded context stops the event loop with a
+	// *ptg.CancelError. OnProgress streams (completed, total) task counts.
+	Ctx        context.Context
+	OnProgress func(done, total int64)
 }
 
 // SimResult reports a simulated run.
@@ -196,15 +202,17 @@ func Simulate(v Variant, cfg Config, opts SimOptions) (*SimResult, error) {
 	}
 	fabric := netsim.NewFabric(opts.Machine.Net, part.Nodes())
 	res, err := desim.Run(g, desim.Options{
-		Cores:     opts.Machine.ComputeCores(),
-		Cost:      CostModel(opts.Machine, opts.Ratio),
-		Fabric:    fabric,
-		Policy:    policy,
-		Trace:     opts.Trace,
-		TraceNode: opts.TraceNode,
-		Coalesce:  opts.Coalesce,
-		Fault:     opts.Fault,
-		Recovery:  opts.Recovery,
+		Cores:      opts.Machine.ComputeCores(),
+		Cost:       CostModel(opts.Machine, opts.Ratio),
+		Fabric:     fabric,
+		Policy:     policy,
+		Trace:      opts.Trace,
+		TraceNode:  opts.TraceNode,
+		Coalesce:   opts.Coalesce,
+		Fault:      opts.Fault,
+		Recovery:   opts.Recovery,
+		Ctx:        opts.Ctx,
+		OnProgress: opts.OnProgress,
 	})
 	if err != nil {
 		return nil, err

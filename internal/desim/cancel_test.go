@@ -1,0 +1,79 @@
+package desim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"castencil/internal/ptg"
+)
+
+func TestSimContextCancelBeforeStart(t *testing.T) {
+	g := chainGraph(t, 10, 1, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(g, Options{Cores: 1, Cost: constCost(time.Millisecond), Ctx: ctx})
+	var ce *ptg.CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v is not a *ptg.CancelError", err)
+	}
+	if ce.Engine != "desim" || ce.Done != 0 || ce.Total != 10 {
+		t.Errorf("cancel report = %+v", ce)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not unwrap to context.Canceled", err)
+	}
+}
+
+func TestSimContextCancelMidReplay(t *testing.T) {
+	// A long chain replays tens of thousands of events; cancel from another
+	// goroutine once the loop is running. The cost function doubles as the
+	// "loop is alive" signal so the cancel always lands mid-replay.
+	g := chainGraph(t, 50_000, 1, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	opened := false
+	cost := func(*ptg.Task) time.Duration {
+		if !opened {
+			opened = true
+			close(started)
+		}
+		// Stall the single-threaded loop a touch so the cancel goroutine
+		// always wins the race against replay completion.
+		time.Sleep(10 * time.Microsecond)
+		return time.Millisecond
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, err := Run(g, Options{Cores: 1, Cost: cost, Ctx: ctx})
+	var ce *ptg.CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v is not a *ptg.CancelError", err)
+	}
+	if ce.Done >= ce.Total {
+		t.Errorf("cancelled replay claims %d of %d tasks", ce.Done, ce.Total)
+	}
+}
+
+func TestSimProgressCallback(t *testing.T) {
+	g := chainGraph(t, 300, 1, 0)
+	var calls int
+	var last int64
+	res, err := Run(g, Options{
+		Cores: 1, Cost: constCost(time.Microsecond),
+		Ctx:        context.Background(),
+		OnProgress: func(done, total int64) { calls++; last = done },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != 300 {
+		t.Fatalf("tasks = %d", res.Tasks)
+	}
+	if calls == 0 || last != 300 {
+		t.Errorf("progress: %d calls, last %d (want final 300)", calls, last)
+	}
+}

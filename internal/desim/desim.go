@@ -14,6 +14,7 @@ package desim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"time"
 
@@ -63,6 +64,16 @@ type Options struct {
 	// structured *fault.Report (graceful degradation, mirroring the real
 	// engine). Acks are modeled free, as the real engine accounts them.
 	Recovery *fault.Recovery
+	// Ctx, when non-nil, bounds the simulation in wall-clock time: the
+	// event loop polls it every few hundred events and returns a
+	// *ptg.CancelError (wrapping the context error) when it is cancelled
+	// or past its deadline — mirroring the real engine's contract.
+	Ctx context.Context
+	// OnProgress, when non-nil, is called with (completed, total) task
+	// counts as the replay advances — at least once at completion and
+	// roughly every 1/128th of the graph in between. Called from the
+	// single simulation goroutine.
+	OnProgress func(done, total int64)
 }
 
 // Policy mirrors the real runtime's scheduling disciplines.
@@ -236,6 +247,11 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 	if opts.Fabric != nil && opts.Fabric.Nodes() < g.NumNodes {
 		return nil, fmt.Errorf("desim: fabric has %d endpoints, graph needs %d", opts.Fabric.Nodes(), g.NumNodes)
 	}
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, &ptg.CancelError{Engine: "desim", Total: len(g.Tasks), Err: err}
+		}
+	}
 	s := &sim{
 		g:       g,
 		opts:    opts,
@@ -264,8 +280,21 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 		s.taskReady(r, 0)
 	}
 
+	progressEvery := len(g.Tasks) / 128
+	if progressEvery == 0 {
+		progressEvery = 1
+	}
 	var makespan time.Duration
+	var polled int
 	for s.events.Len() > 0 && s.ferr == nil {
+		// Poll the context every few hundred events: cheap enough to be
+		// invisible, fine enough that a cancelled simulation stops within
+		// microseconds of real time.
+		if polled++; opts.Ctx != nil && polled&255 == 0 {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, &ptg.CancelError{Engine: "desim", Done: s.done, Total: len(g.Tasks), Err: err}
+			}
+		}
 		ev := heap.Pop(&s.events).(event)
 		switch ev.kind {
 		case evTaskDone:
@@ -273,6 +302,9 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 				makespan = ev.at
 			}
 			s.done++
+			if opts.OnProgress != nil && (s.done%progressEvery == 0 || s.done == len(g.Tasks)) {
+				opts.OnProgress(int64(s.done), int64(len(g.Tasks)))
+			}
 			s.notePause(ev.node, ev.at)
 			s.release(ev.task, ev.at)
 			// Free the core and pull the next waiter if any.

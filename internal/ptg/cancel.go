@@ -1,0 +1,33 @@
+package ptg
+
+import "fmt"
+
+// CancelError is the structured error both execution engines return when a
+// run is stopped by context cancellation or a deadline before the graph
+// completes. It lives here (the engines' shared dependency) so the real
+// runtime and the virtual-time simulator report cancellation identically
+// and callers can handle either engine with one errors.As target.
+//
+// Err is the underlying context error (context.Canceled or
+// context.DeadlineExceeded), exposed through Unwrap so errors.Is works:
+//
+//	if errors.Is(err, context.Canceled) { ... }
+//	var ce *ptg.CancelError
+//	if errors.As(err, &ce) { log.Printf("stopped at %d/%d tasks", ce.Done, ce.Total) }
+type CancelError struct {
+	// Engine names the engine that was interrupted ("runtime" or "desim").
+	Engine string
+	// Done and Total count executed tasks at interruption and the graph's
+	// task count — the progress the run achieved before being stopped.
+	Done, Total int
+	// Err is the context's error: context.Canceled or
+	// context.DeadlineExceeded.
+	Err error
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("%s: run stopped after %d of %d tasks: %v", e.Engine, e.Done, e.Total, e.Err)
+}
+
+// Unwrap exposes the context error to errors.Is/errors.As.
+func (e *CancelError) Unwrap() error { return e.Err }

@@ -8,6 +8,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -97,6 +98,19 @@ type Options struct {
 	TraceComm bool
 	// Intercept, when non-nil, wraps every inter-node message.
 	Intercept Interceptor
+	// Ctx, when non-nil, bounds the execution: when it is cancelled or its
+	// deadline passes, workers stop picking up tasks, the communication
+	// goroutines drain, and Run returns a *ptg.CancelError (wrapping the
+	// context error) alongside the partial result. Cancellation is prompt
+	// at task granularity — a task already running finishes, nothing new
+	// starts. A nil Ctx means the run cannot be interrupted (the historical
+	// behavior).
+	Ctx context.Context
+	// OnProgress, when non-nil, is called with (completed, total) task
+	// counts as the run advances — at least once at completion and roughly
+	// every 1/128th of the graph in between. It is invoked from worker
+	// goroutines and must be cheap and concurrency-safe.
+	OnProgress func(done, total int64)
 }
 
 // Result summarizes a completed execution.
@@ -222,7 +236,12 @@ type executor struct {
 	completed atomic.Int64
 	total     int64
 	done      atomic.Bool
-	finished  chan struct{}
+	// cancelled marks a context-driven stop: workers discard ready tasks
+	// and exit instead of draining their queues (a failed task, by
+	// contrast, lets already-queued work keep running).
+	cancelled     atomic.Bool
+	progressEvery int64
+	finished      chan struct{}
 
 	messages       atomic.Int64
 	bytesSent      atomic.Int64
@@ -270,6 +289,11 @@ func (e env) TakeBufSlot(slot int32) []byte   { return e.store.TakeBufSlot(slot)
 func Run(g *ptg.Graph, opts Options) (*Result, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = 1
+	}
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, &ptg.CancelError{Engine: "runtime", Total: len(g.Tasks), Err: err}
+		}
 	}
 	if err := opts.Fault.Validate(); err != nil {
 		return nil, err
@@ -362,8 +386,33 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 	if ex.total == 0 {
 		return &Result{Stores: ex.stores()}, nil
 	}
+	ex.progressEvery = ex.total / 128
+	if ex.progressEvery == 0 {
+		ex.progressEvery = 1
+	}
 
 	ex.t0 = time.Now()
+
+	// The context watcher rides the background wait group: it exits the
+	// moment the run finishes (ex.finished closes on success and failure
+	// alike), so bgWg.Wait below never blocks on it.
+	if ctx := opts.Ctx; ctx != nil {
+		ex.bgWg.Add(1)
+		go func() {
+			defer ex.bgWg.Done()
+			select {
+			case <-ctx.Done():
+				ex.cancelled.Store(true)
+				ex.fail(&ptg.CancelError{
+					Engine: "runtime",
+					Done:   int(ex.completed.Load()),
+					Total:  int(ex.total),
+					Err:    ctx.Err(),
+				})
+			case <-ex.finished:
+			}
+		}()
+	}
 
 	var wg sync.WaitGroup
 	for _, nd := range ex.nodes {
@@ -440,12 +489,12 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 		BundleSegments: int(ex.bundleSegments.Load()),
 		Completed:      int(ex.completed.Load()),
 		Dropped:        int(ex.dropped.Load()),
-		NodeTasks:     make([]int, g.NumNodes),
-		NodeBusy:      make([]time.Duration, g.NumNodes),
-		NodeLocalHits: make([]int, g.NumNodes),
-		NodeSteals:    make([]int, g.NumNodes),
-		NodeParks:     make([]int, g.NumNodes),
-		Fault:         ex.faultStats(),
+		NodeTasks:      make([]int, g.NumNodes),
+		NodeBusy:       make([]time.Duration, g.NumNodes),
+		NodeLocalHits:  make([]int, g.NumNodes),
+		NodeSteals:     make([]int, g.NumNodes),
+		NodeParks:      make([]int, g.NumNodes),
+		Fault:          ex.faultStats(),
 	}
 	for n := 0; n < g.NumNodes; n++ {
 		res.NodeTasks[n] = int(ex.nodeTasks[n].Load())
@@ -532,6 +581,9 @@ func (ex *executor) worker(nd *execNode, core int32, wg *sync.WaitGroup) {
 	}
 	var ready []int32 // per-worker scratch for batched successor release
 	for {
+		if ex.cancelled.Load() {
+			return
+		}
 		ex.maybePause(nd)
 		nd.mu.Lock()
 		if nd.queue.size() == 0 && !ex.done.Load() {
@@ -548,6 +600,12 @@ func (ex *executor) worker(nd *execNode, core int32, wg *sync.WaitGroup) {
 			}
 			continue
 		}
+		if ex.cancelled.Load() {
+			// A context stop discards ready work instead of draining it —
+			// promptness is the contract, the accounting sweep owns the
+			// leftovers.
+			return
+		}
 		ready = ex.runTask(nd, core, idx, false, ready[:0])
 	}
 }
@@ -563,6 +621,9 @@ func (ex *executor) workerSteal(nd *execNode, core int32) {
 	own := nd.deques[core]
 	var ready []int32
 	for {
+		if ex.cancelled.Load() {
+			return
+		}
 		ex.maybePause(nd)
 		idx, stolen, ok := ex.findWork(nd, core, own)
 		if !ok {
@@ -587,6 +648,9 @@ func (ex *executor) workerSteal(nd *execNode, core int32) {
 				continue
 			}
 			nd.parked.Add(-1)
+		}
+		if ex.cancelled.Load() {
+			return
 		}
 		ready = ex.runTask(nd, core, idx, stolen, ready[:0])
 	}
@@ -688,7 +752,11 @@ func (ex *executor) runTask(nd *execNode, core int32, idx int32, stolen bool, re
 		}
 	}
 
-	if ex.completed.Add(1) == ex.total {
+	done := ex.completed.Add(1)
+	if ex.opts.OnProgress != nil && (done%ex.progressEvery == 0 || done == ex.total) {
+		ex.opts.OnProgress(done, ex.total)
+	}
+	if done == ex.total {
 		ex.finish()
 	}
 	return ready

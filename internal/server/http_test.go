@@ -1,0 +1,273 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Manager, *httptest.Server) {
+	t.Helper()
+	m := New(cfg)
+	srv := httptest.NewServer(Handler(m))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = m.Shutdown(ctx)
+	})
+	return m, srv
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b bytes.Buffer
+	if _, err := b.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, b.Bytes()
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// TestHTTPSubmitStatusResult drives the full request lifecycle over the
+// wire: submit, poll, fetch the result with its determinism checksum, and
+// confirm the grid bytes round-trip matches the checksum.
+func TestHTTPSubmitStatusResult(t *testing.T) {
+	_, srv := newTestServer(t, Config{MaxJobs: 2, QueueSize: 8})
+
+	resp, body := postJSON(t, srv.URL+"/v1/jobs",
+		`{"n":64,"tile":16,"steps":6,"step_size":3,"seed":7,"workers":1}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var v View
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.ID == "" || (v.State != StateQueued && v.State != StateRunning) {
+		t.Fatalf("submit view: %+v", v)
+	}
+
+	// Poll until terminal.
+	deadline := time.Now().Add(30 * time.Second)
+	for !v.State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %+v", v)
+		}
+		time.Sleep(10 * time.Millisecond)
+		getJSON(t, srv.URL+"/v1/jobs/"+v.ID, &v)
+	}
+	if v.State != StateDone {
+		t.Fatalf("job state %s, error %q", v.State, v.Error)
+	}
+	if v.TasksDone != v.TasksTotal || v.Progress != 1 {
+		t.Errorf("done job progress %d/%d (%v)", v.TasksDone, v.TasksTotal, v.Progress)
+	}
+
+	var res Result
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+v.ID+"/result?grid=1", &res).StatusCode; code != http.StatusOK {
+		t.Fatalf("result: %d", code)
+	}
+	if res.GridSHA256 == "" || res.GridN != 64 || res.Tasks == 0 {
+		t.Errorf("result incomplete: %+v", res)
+	}
+	raw, err := base64.StdEncoding.DecodeString(res.GridData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 64*64*8 {
+		t.Errorf("grid payload %d bytes, want %d", len(raw), 64*64*8)
+	}
+	// Same spec, same seed, second job: the service's determinism contract
+	// over the wire.
+	_, body2 := postJSON(t, srv.URL+"/v1/jobs",
+		`{"n":64,"tile":16,"steps":6,"step_size":3,"seed":7,"workers":1}`)
+	var v2 View
+	if err := json.Unmarshal(body2, &v2); err != nil {
+		t.Fatal(err)
+	}
+	for !v2.State.Terminal() {
+		time.Sleep(10 * time.Millisecond)
+		getJSON(t, srv.URL+"/v1/jobs/"+v2.ID, &v2)
+	}
+	var res2 Result
+	getJSON(t, srv.URL+"/v1/jobs/"+v2.ID+"/result", &res2)
+	if res2.GridSHA256 != res.GridSHA256 {
+		t.Errorf("same seed, different checksum: %s vs %s", res2.GridSHA256, res.GridSHA256)
+	}
+
+	// Listing includes both jobs.
+	var list struct {
+		Jobs []View `json:"jobs"`
+	}
+	getJSON(t, srv.URL+"/v1/jobs", &list)
+	if len(list.Jobs) != 2 {
+		t.Errorf("list has %d jobs, want 2", len(list.Jobs))
+	}
+}
+
+// TestHTTPErrors covers the failure surface: malformed body, invalid spec,
+// unknown job, premature result, queue-full 429.
+func TestHTTPErrors(t *testing.T) {
+	m, srv := newTestServer(t, Config{MaxJobs: 1, QueueSize: 1})
+
+	if resp, _ := postJSON(t, srv.URL+"/v1/jobs", `{not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: %d, want 400", resp.StatusCode)
+	}
+	if resp, body := postJSON(t, srv.URL+"/v1/jobs", `{"n":64,"tile":16,"steps":6,"nodes":3}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid spec: %d %s, want 400", resp.StatusCode, body)
+	}
+	if resp, _ := postJSON(t, srv.URL+"/v1/jobs", `{"n":64,"tile":16,"steps":6,"bogus_knob":1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: %d, want 400", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv.URL+"/v1/jobs/job-999999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, srv.URL+"/v1/jobs/job-999999/cancel", ""); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("cancel unknown: %d, want 404", resp.StatusCode)
+	}
+
+	// Occupy the executor, fill the queue, then overflow it. The blocker
+	// must outlast several HTTP round-trips, so give it plenty of steps.
+	blocker, err := m.Submit(Spec{N: 256, Tile: 32, Steps: 4000, StepSize: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, blocker, StateRunning, 10*time.Second)
+	if resp, body := postJSON(t, srv.URL+"/v1/jobs", `{"n":64,"tile":16,"steps":6,"step_size":3}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queue fill: %d %s", resp.StatusCode, body)
+	}
+	resp, body := postJSON(t, srv.URL+"/v1/jobs", `{"n":64,"tile":16,"steps":6,"step_size":3}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("overflow: %d %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	// A running job has no result yet.
+	if resp := getJSON(t, srv.URL+"/v1/jobs/"+blocker.ID+"/result", nil); resp.StatusCode != http.StatusConflict {
+		t.Errorf("premature result: %d, want 409", resp.StatusCode)
+	}
+	// Cancel over the wire.
+	if resp, _ := postJSON(t, srv.URL+"/v1/jobs/"+blocker.ID+"/cancel", ""); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("cancel: %d, want 202", resp.StatusCode)
+	}
+	waitState(t, blocker, StateCancelled, 30*time.Second)
+}
+
+// TestHTTPMetricsAndHealth checks the observability endpoints: Prometheus
+// exposition with the service families, healthz flipping to 503 on drain.
+func TestHTTPMetricsAndHealth(t *testing.T) {
+	m, srv := newTestServer(t, Config{MaxJobs: 1, QueueSize: 4})
+
+	j, err := m.Submit(quickSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateDone, 30*time.Second)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	_, _ = b.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`stencild_jobs_total{state="done"} 1`,
+		"stencild_queue_depth 0",
+		"stencild_jobs_running 0",
+		"stencild_tasks_executed_total",
+		"stencild_job_duration_seconds_bucket",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q\n%s", want, out)
+		}
+	}
+
+	if resp := getJSON(t, srv.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d, want 200", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if resp := getJSON(t, srv.URL+"/healthz", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: %d, want 503", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, srv.URL+"/v1/jobs", `{"n":64,"tile":16,"steps":6,"step_size":3}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestHTTPStream reads the NDJSON progress stream: at least an initial and
+// a terminal snapshot, the last one terminal with full progress.
+func TestHTTPStream(t *testing.T) {
+	m, srv := newTestServer(t, Config{MaxJobs: 1, QueueSize: 4})
+	j, err := m.Submit(Spec{N: 128, Tile: 32, Steps: 60, StepSize: 6, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/stream", srv.URL, j.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type %q", ct)
+	}
+	var views []View
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var v View
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		views = append(views, v)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) < 2 {
+		t.Fatalf("stream delivered %d snapshots, want >= 2", len(views))
+	}
+	last := views[len(views)-1]
+	if !last.State.Terminal() {
+		t.Errorf("final snapshot not terminal: %+v", last)
+	}
+	if last.State == StateDone && last.Progress != 1 {
+		t.Errorf("final progress %v, want 1", last.Progress)
+	}
+}

@@ -27,9 +27,9 @@ func randTile(rng *rand.Rand, rows, cols, halo int) *grid.Tile {
 func TestFastPathsBitwiseIdentical(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	weights := map[string]Weights{
-		"jacobi":  Jacobi(),
-		"heat":    Heat(0.2),
-		"generic": {C: -0.3, N: 0.7, S: -0.11, W: 1.9, E: 0.05},
+		"jacobi":          Jacobi(),
+		"heat":            Heat(0.2),
+		"generic":         {C: -0.3, N: 0.7, S: -0.11, W: 1.9, E: 0.05},
 		"centerless-asym": {C: 0, N: 0.6, S: -0.25, W: 0.125, E: -1.5},
 	}
 	kernels := map[string]func(Weights, *grid.Tile, *grid.Tile, grid.Rect){

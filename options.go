@@ -1,10 +1,12 @@
 package castencil
 
 import (
+	"context"
 	"fmt"
 
 	"castencil/internal/core"
 	"castencil/internal/fault"
+	"castencil/internal/ptg"
 	"castencil/internal/runtime"
 )
 
@@ -103,6 +105,15 @@ type RunOptions struct {
 	// Ratio is the paper's kernel-adjustment ratio for simulated runs
 	// (0 or 1 = full kernel).
 	Ratio float64
+	// Ctx bounds the run on either engine: a cancelled or deadline-exceeded
+	// context stops workers and communication goroutines promptly (task
+	// granularity) and the run returns a *CancelError wrapping the context
+	// error. Nil means the run cannot be interrupted.
+	Ctx context.Context
+	// Progress, when non-nil, receives (completed, total) task counts as
+	// the run advances on either engine. Called from engine goroutines; it
+	// must be cheap and concurrency-safe.
+	Progress func(done, total int64)
 }
 
 // Option mutates RunOptions; pass any number to Run or Sim.
@@ -170,6 +181,28 @@ func WithMachine(m *Machine) Option { return func(o *RunOptions) { o.Machine = m
 // WithRatio sets the paper's kernel-adjustment ratio for simulated runs.
 func WithRatio(r float64) Option { return func(o *RunOptions) { o.Ratio = r } }
 
+// WithContext bounds the run with ctx on either engine: cancellation or a
+// deadline stops the run promptly (nothing new starts, communication
+// drains) and Run/Sim return a *CancelError that wraps the context error —
+// errors.Is(err, context.Canceled) and errors.As(err, &cancelErr) both
+// work. This is the load-bearing hook behind job cancellation and deadlines
+// in the service layer (internal/server).
+func WithContext(ctx context.Context) Option { return func(o *RunOptions) { o.Ctx = ctx } }
+
+// WithProgress streams live (completed, total) task counts from either
+// engine — at least once at completion and roughly every 1/128th of the
+// graph in between. fn is called from engine goroutines and must be cheap
+// and concurrency-safe.
+func WithProgress(fn func(done, total int64)) Option {
+	return func(o *RunOptions) { o.Progress = fn }
+}
+
+// CancelError is the structured error Run and Sim return when a context
+// supplied via WithContext is cancelled or exceeds its deadline: it reports
+// which engine stopped and how many tasks had executed, and unwraps to the
+// context error.
+type CancelError = ptg.CancelError
+
 // BuildRunOptions folds functional options into a RunOptions (exposed so
 // wrappers and tests can inspect the resolved configuration).
 func BuildRunOptions(opts ...Option) RunOptions {
@@ -185,29 +218,33 @@ func BuildRunOptions(opts ...Option) RunOptions {
 // real converts the unified options to the real engine's option struct.
 func (o RunOptions) real() ExecOptions {
 	return ExecOptions{
-		Workers:   o.Workers,
-		Sched:     o.Sched,
-		Policy:    o.Policy,
-		Coalesce:  o.Coalesce,
-		Fault:     o.Fault,
-		Recovery:  o.Recovery,
-		Trace:     o.Trace,
-		TraceComm: o.TraceComm,
-		Intercept: o.Intercept,
+		Workers:    o.Workers,
+		Sched:      o.Sched,
+		Policy:     o.Policy,
+		Coalesce:   o.Coalesce,
+		Fault:      o.Fault,
+		Recovery:   o.Recovery,
+		Trace:      o.Trace,
+		TraceComm:  o.TraceComm,
+		Intercept:  o.Intercept,
+		Ctx:        o.Ctx,
+		OnProgress: o.Progress,
 	}
 }
 
 // sim converts the unified options to the simulator's option struct.
 func (o RunOptions) sim() SimOptions {
 	return SimOptions{
-		Machine:   o.Machine,
-		Ratio:     o.Ratio,
-		FIFO:      o.SimFIFO,
-		Trace:     o.Trace,
-		TraceNode: o.TraceNode,
-		Coalesce:  o.Coalesce,
-		Fault:     o.Fault,
-		Recovery:  o.Recovery,
+		Machine:    o.Machine,
+		Ratio:      o.Ratio,
+		FIFO:       o.SimFIFO,
+		Trace:      o.Trace,
+		TraceNode:  o.TraceNode,
+		Coalesce:   o.Coalesce,
+		Fault:      o.Fault,
+		Recovery:   o.Recovery,
+		Ctx:        o.Ctx,
+		OnProgress: o.Progress,
 	}
 }
 

@@ -1,8 +1,10 @@
 package castencil_test
 
 import (
+	"context"
 	"errors"
 	"math"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -210,4 +212,62 @@ func TestFacadeFaultReportPausedNode(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Errorf("degradation took %v; the 10s pause leaked into the run", elapsed)
 	}
+}
+
+// TestFacadeContextCancellation exercises the service layer's load-bearing
+// plumbing: WithContext threads a context through both engines, and a
+// cancelled or expired context surfaces as a *CancelError that unwraps to
+// the context error.
+func TestFacadeContextCancellation(t *testing.T) {
+	cfg := castencil.Config{N: 64, TileRows: 8, P: 2, Steps: 50, StepSize: 4}
+
+	t.Run("real", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := castencil.Run(castencil.CA, cfg, castencil.WithContext(ctx))
+		var ce *castencil.CancelError
+		if !errors.As(err, &ce) {
+			t.Fatalf("error %v is not a *CancelError", err)
+		}
+		if ce.Engine != "runtime" {
+			t.Errorf("engine = %q", ce.Engine)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("error %v does not unwrap to context.Canceled", err)
+		}
+	})
+
+	t.Run("sim", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := castencil.Sim(castencil.CA, cfg,
+			castencil.WithMachine(castencil.NaCL()), castencil.WithContext(ctx))
+		var ce *castencil.CancelError
+		if !errors.As(err, &ce) {
+			t.Fatalf("error %v is not a *CancelError", err)
+		}
+		if ce.Engine != "desim" {
+			t.Errorf("engine = %q", ce.Engine)
+		}
+	})
+
+	t.Run("progress", func(t *testing.T) {
+		var last atomic.Int64
+		res, err := castencil.Run(castencil.Base, cfg,
+			castencil.WithContext(context.Background()),
+			castencil.WithProgress(func(done, total int64) {
+				for {
+					cur := last.Load()
+					if done <= cur || last.CompareAndSwap(cur, done) {
+						return
+					}
+				}
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Exec.Completed == 0 || last.Load() != int64(res.Exec.Completed) {
+			t.Errorf("progress saw %d, run completed %d tasks", last.Load(), res.Exec.Completed)
+		}
+	})
 }
