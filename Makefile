@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-sched bench-comm bench-fault bench-serve serve check
+.PHONY: all build vet test race bench-smoke bench bench-sched bench-comm bench-fault bench-serve bench-tb serve check
 
 all: check
 
@@ -55,6 +55,16 @@ bench-fault:
 # single-job service tax vs direct castencil.Run.
 bench-serve:
 	$(GO) run ./cmd/stencilbench -exp serve -quick
+
+# Temporal-blocking ablation behind BENCH_6.json: base vs CA vs wavefront
+# crossover on both machines, the AutoPlan family decisions, and the
+# wire-level w-fold bundle reduction — plus the fused-kernel and halo
+# microbenchmarks on the wavefront path.
+bench-tb:
+	$(GO) test -run '^$$' -bench 'KernelWavefront|ExecutorWavefront' \
+		-benchtime 20x -benchmem \
+		./internal/stencil/ ./internal/core/
+	$(GO) run ./cmd/stencilbench -exp tb -quick
 
 # Run the stencil-as-a-service daemon locally.
 serve:

@@ -182,6 +182,17 @@ func BenchmarkExtWeakScaling(b *testing.B) {
 	}
 }
 
+func BenchmarkExtTemporalBlocking(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		r, err := bench.TemporalBlocking(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, r)
+	}
+}
+
 // --- Microbenchmarks of the computational substrates ---
 
 // BenchmarkKernel5Point measures the five-point Jacobi kernel on the NaCL

@@ -52,13 +52,16 @@ import (
 )
 
 // Variant selects a stencil implementation: Base (halo exchange every
-// iteration) or CA (the PA1 communication-avoiding scheme).
+// iteration), CA (the PA1 communication-avoiding scheme) or WF (wavefront
+// temporal blocking: one fused task advances a tile w steps on a w-deep
+// ghost region, and every tile exchanges only once per w steps).
 type Variant = core.Variant
 
 // Stencil variants.
 const (
 	Base = core.Base
 	CA   = core.CA
+	WF   = core.WF
 )
 
 // Config describes a stencil problem and its decomposition; see
@@ -280,20 +283,28 @@ func RunPETScReal(n int, w Weights, init Init, bnd Boundary, ranks, iters int) (
 	return res.X, nil
 }
 
-// Plan is the outcome of the automatic CA step-size planner.
-type Plan = core.Plan
+// Plan is the outcome of the automatic kernel-family planner; PlanResult is
+// one evaluated candidate. Plan.BestFamily names the winning family (Base,
+// CA or WF); UseCA and UseWavefront report the recommendation directly.
+type (
+	Plan       = core.Plan
+	PlanResult = core.PlanResult
+)
 
-// AutoPlan probes the machine model across candidate CA step sizes (plus
-// the base variant) and recommends the best configuration for the problem —
+// AutoPlan probes the machine model across three kernel families — base, CA
+// at each candidate step size, and wavefront temporal blocking at each
+// candidate width — and recommends the best configuration for the problem:
 // the paper's section-VII vision of making the communication-avoiding
 // transformation transparent to users. A nil candidate list uses
 // DefaultPlanCandidates; ratio is the kernel-adjustment knob (1 = real
-// kernel).
+// kernel). Ties break deterministically toward the simpler plan (smaller
+// parameter, lower-numbered family).
 func AutoPlan(cfg Config, m *Machine, ratio float64, candidates []int) (*Plan, error) {
 	return core.AutoPlan(cfg, m, ratio, candidates)
 }
 
-// DefaultPlanCandidates is AutoPlan's default step-size probe set.
+// DefaultPlanCandidates is AutoPlan's default parameter probe set; each
+// value is tried both as a CA step size and as a WF width.
 var DefaultPlanCandidates = core.DefaultPlanCandidates
 
 // --- DTD front-end (PaRSEC's Dynamic Task Discovery analog, §III-B) ---

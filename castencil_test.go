@@ -112,7 +112,7 @@ func TestFacadeAutoPlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(plan.Candidates) != 3 {
+	if len(plan.Candidates) != 5 { // base + CA s=2,5 + WF w=2,5
 		t.Errorf("candidates = %d", len(plan.Candidates))
 	}
 }

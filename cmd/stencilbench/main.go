@@ -8,6 +8,9 @@
 //	stencilbench -exp table1 -host   # include a real STREAM run of this host
 //	stencilbench -exp fig10 -gantt 120
 //	stencilbench -exp fig10 -cpuprofile cpu.out -memprofile mem.out
+//
+// The experiment list is the bench package's registry; -exp help text,
+// validation, and the "all" execution order all derive from it.
 package main
 
 import (
@@ -24,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig5, fig6, fig7, fig8, fig9, fig10, roofline, headline, future, ninepoint, autoplan, sched, weak, coalesce, fault, serve")
+	exp := flag.String("exp", "all", "experiment: "+strings.Join(bench.ExperimentIDs(), ", "))
 	quick := flag.Bool("quick", false, "quarter-scale workloads, 10 iterations (fast)")
 	host := flag.Bool("host", false, "table1: run a real STREAM benchmark on this host too")
 	gantt := flag.Int("gantt", 0, "fig10: also print text Gantt charts of the given width")
@@ -75,147 +78,9 @@ func main() {
 	p.Sched = sched.Name
 	p.Coalesce = coalesce.Name
 	p.Fault = faultSpec.Spec
+	o := bench.ExpOpts{Host: *host, GanttWidth: *gantt}
 
-	want := func(id string) bool { return *exp == "all" || *exp == id }
-	ran := 0
-	start := time.Now()
-
-	type runner func() error
-	runners := []struct {
-		id string
-		fn runner
-	}{
-		{"table1", func() error { bench.TableI(p, *host).WriteText(os.Stdout); return nil }},
-		{"fig5", func() error { bench.Fig5(p).WriteText(os.Stdout); return nil }},
-		{"roofline", func() error { bench.Roofline(p).WriteText(os.Stdout); return nil }},
-		{"fig6", func() error {
-			r, err := bench.Fig6(p)
-			if err != nil {
-				return err
-			}
-			r.WriteText(os.Stdout)
-			return nil
-		}},
-		{"fig7", func() error {
-			r, err := bench.Fig7(p)
-			if err != nil {
-				return err
-			}
-			r.WriteText(os.Stdout)
-			return nil
-		}},
-		{"fig8", func() error {
-			r, err := bench.Fig8(p)
-			if err != nil {
-				return err
-			}
-			r.WriteText(os.Stdout)
-			return nil
-		}},
-		{"fig9", func() error {
-			r, err := bench.Fig9(p)
-			if err != nil {
-				return err
-			}
-			r.WriteText(os.Stdout)
-			return nil
-		}},
-		{"fig10", func() error {
-			width := *gantt
-			if width <= 0 {
-				width = 100
-			}
-			r, results, err := bench.Fig10(p, width)
-			if err != nil {
-				return err
-			}
-			r.WriteText(os.Stdout)
-			if *gantt > 0 {
-				for _, res := range results {
-					fmt.Printf("-- %s trace, node %d --\n%s\n", res.Variant, res.TraceNode, res.Gantt)
-				}
-			}
-			return nil
-		}},
-		{"headline", func() error {
-			r, err := bench.Headline(p)
-			if err != nil {
-				return err
-			}
-			r.WriteText(os.Stdout)
-			return nil
-		}},
-		{"future", func() error {
-			r, err := bench.Future(p)
-			if err != nil {
-				return err
-			}
-			r.WriteText(os.Stdout)
-			return nil
-		}},
-		{"ninepoint", func() error {
-			r, err := bench.NinePoint(p)
-			if err != nil {
-				return err
-			}
-			r.WriteText(os.Stdout)
-			return nil
-		}},
-		{"autoplan", func() error {
-			r, err := bench.AutoPlanReport(p)
-			if err != nil {
-				return err
-			}
-			r.WriteText(os.Stdout)
-			return nil
-		}},
-		{"sched", func() error {
-			r, err := bench.Schedulers(p)
-			if err != nil {
-				return err
-			}
-			r.WriteText(os.Stdout)
-			return nil
-		}},
-		{"weak", func() error {
-			r, err := bench.WeakScaling(p)
-			if err != nil {
-				return err
-			}
-			r.WriteText(os.Stdout)
-			return nil
-		}},
-		{"coalesce", func() error {
-			r, err := bench.Coalesce(p)
-			if err != nil {
-				return err
-			}
-			r.WriteText(os.Stdout)
-			return nil
-		}},
-		{"fault", func() error {
-			r, err := bench.FaultAblation(p)
-			if err != nil {
-				return err
-			}
-			r.WriteText(os.Stdout)
-			return nil
-		}},
-		{"serve", func() error {
-			r, err := bench.Serve(p)
-			if err != nil {
-				return err
-			}
-			r.WriteText(os.Stdout)
-			return nil
-		}},
-	}
-
-	valid := make([]string, 0, len(runners)+1)
-	valid = append(valid, "all")
-	for _, r := range runners {
-		valid = append(valid, r.id)
-	}
+	valid := bench.ExperimentIDs()
 	known := false
 	for _, v := range valid {
 		if *exp == v {
@@ -227,12 +92,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	for _, r := range runners {
-		if !want(r.id) {
+	ran := 0
+	start := time.Now()
+	for _, e := range bench.Experiments() {
+		if *exp != "all" && *exp != e.ID {
 			continue
 		}
-		if err := r.fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", r.id, err)
+		if err := e.Run(p, o, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
 		ran++

@@ -27,7 +27,7 @@ func fail(err error) {
 }
 
 func main() {
-	impl := flag.String("impl", "ca", "implementation: base, ca, petsc")
+	impl := flag.String("impl", "ca", "implementation: base, ca, wf, petsc")
 	machineFlag := cli.MachineVar(flag.CommandLine, "NaCL")
 	engine := flag.String("engine", "sim", "engine: sim (virtual time) or real (actual execution)")
 	n := flag.Int("n", 23040, "global grid extent (N x N)")
@@ -35,6 +35,7 @@ func main() {
 	nodes := flag.Int("nodes", 16, "node count (perfect square)")
 	steps := flag.Int("steps", 100, "iterations")
 	stepSize := flag.Int("stepsize", 15, "CA step size")
+	wavefrontFlag := cli.WavefrontVar(flag.CommandLine, 10)
 	ratio := flag.Float64("ratio", 1, "kernel adjustment ratio (sim only)")
 	workers := flag.Int("workers", 2, "workers per node (real engine)")
 	schedFlag := cli.SchedVar(flag.CommandLine, "steal")
@@ -55,12 +56,15 @@ func main() {
 		fail(fmt.Errorf("nodes = %d is not a perfect square", *nodes))
 	}
 	m := machineFlag.Model
-	cfg := castencil.Config{N: *n, TileRows: *tile, P: p, Steps: *steps, StepSize: *stepSize}
+	cfg := castencil.Config{N: *n, TileRows: *tile, P: p, Steps: *steps, StepSize: *stepSize, Wavefront: wavefrontFlag.N}
 
 	if *dotOut != "" {
 		variant := castencil.Base
-		if *impl == "ca" {
+		switch *impl {
+		case "ca":
 			variant = castencil.CA
+		case "wf":
+			variant = castencil.WF
 		}
 		g, err := core.BuildGraph(variant, cfg)
 		if err != nil {
@@ -87,16 +91,12 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("plan for %s, %d nodes, N=%d tile=%d ratio=%.2f:\n", m.Name, *nodes, *n, *tile, *ratio)
-		for _, c := range plan.Candidates {
-			name := "base"
-			if c.StepSize > 0 {
-				name = fmt.Sprintf("CA s=%d", c.StepSize)
-			}
+		for i, c := range plan.Candidates {
 			marker := ""
-			if c.StepSize == plan.BestStepSize {
+			if i == 0 {
 				marker = "  <- recommended"
 			}
-			fmt.Printf("  %-9s %10.1f GFLOP/s%s\n", name, c.GFLOPS, marker)
+			fmt.Printf("  %-9s %10.1f GFLOP/s%s\n", c, c.GFLOPS, marker)
 		}
 		return
 	}
@@ -106,11 +106,16 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		if plan.UseCA() {
+		switch {
+		case plan.UseCA():
 			*impl = "ca"
 			cfg.StepSize = plan.BestStepSize
 			fmt.Printf("autoplan: CA s=%d (%.1f GFLOP/s predicted on %s)\n", plan.BestStepSize, plan.BestGFLOPS, m.Name)
-		} else {
+		case plan.UseWavefront():
+			*impl = "wf"
+			cfg.Wavefront = plan.BestWidth
+			fmt.Printf("autoplan: WF w=%d (%.1f GFLOP/s predicted on %s)\n", plan.BestWidth, plan.BestGFLOPS, m.Name)
+		default:
 			*impl = "base"
 			fmt.Printf("autoplan: base (%.1f GFLOP/s predicted on %s)\n", plan.BestGFLOPS, m.Name)
 		}
@@ -132,6 +137,8 @@ func main() {
 		variant = castencil.Base
 	case "ca":
 		variant = castencil.CA
+	case "wf":
+		variant = castencil.WF
 	default:
 		fail(fmt.Errorf("unknown impl %q", *impl))
 	}
@@ -157,6 +164,9 @@ func main() {
 		fmt.Printf("%s on %s, %d nodes, N=%d tile=%d steps=%d", variant, m.Name, *nodes, *n, *tile, *steps)
 		if variant == castencil.CA {
 			fmt.Printf(" s=%d", cfg.StepSize)
+		}
+		if variant == castencil.WF {
+			fmt.Printf(" w=%d", cfg.Wavefront)
 		}
 		if *ratio != 1 {
 			fmt.Printf(" ratio=%.2f", *ratio)

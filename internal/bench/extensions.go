@@ -110,12 +110,13 @@ func NinePoint(p Params) (*Report, error) {
 	return r, nil
 }
 
-// AutoPlanReport exercises the automatic step-size planner (the paper's
-// future-work item) across kernel ratios.
+// AutoPlanReport exercises the automatic kernel-family planner (the paper's
+// future-work item) across kernel ratios: each parameter candidate is probed
+// both as a CA step size and as a wavefront width.
 func AutoPlanReport(p Params) (*Report, error) {
 	r := &Report{
 		ID:    "autoplan",
-		Title: "Automatic CA step-size planning (section VII future work)",
+		Title: "Automatic kernel-family planning (section VII future work)",
 		Paper: "§VII: make the generation and scheduling of the redundant tasks transparent to the users",
 	}
 	for _, w := range p.Workloads {
@@ -136,15 +137,11 @@ func AutoPlanReport(p Params) (*Report, error) {
 				}
 				var base float64
 				for _, c := range plan.Candidates {
-					if c.StepSize == 0 {
+					if c.Family == core.Base {
 						base = c.GFLOPS
 					}
 				}
-				choice := "base"
-				if plan.UseCA() {
-					choice = fmt.Sprintf("CA s=%d", plan.BestStepSize)
-				}
-				t.AddRow(itoa(nodes), f1(ratio), choice, f1(plan.BestGFLOPS), f1(base), pct(plan.BestGFLOPS/base))
+				t.AddRow(itoa(nodes), f1(ratio), plan.Candidates[0].String(), f1(plan.BestGFLOPS), f1(base), pct(plan.BestGFLOPS/base))
 			}
 		}
 		r.Tables = append(r.Tables, t)

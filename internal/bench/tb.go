@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"castencil/internal/core"
+	"castencil/internal/ptg"
+	"castencil/internal/runtime"
+)
+
+// TemporalBlocking is the three-family crossover ablation. The wavefront
+// variant fuses w steps into one task, so epochs — and with them tasks and
+// per-neighbor bundles — drop w-fold at the price of width-w halos; the CA
+// variant buys the same message reduction with redundant ghost compute; the
+// base variant pays full communication but no overheads. This experiment
+// shows where each family wins and that AutoPlan lands on different families
+// at different (shape, machine) points.
+func TemporalBlocking(p Params) (*Report, error) {
+	r := &Report{
+		ID:    "tb",
+		Title: "Temporal-blocking crossover: base vs CA vs wavefront",
+		Paper: "extension of §VII's trade-off space: a third family that trades halo width for task and message count instead of redundant compute",
+	}
+	if len(p.Workloads) == 0 || len(p.Nodes) == 0 {
+		return r, nil
+	}
+	s := p.StepSize
+
+	// Virtual-time crossover: each machine at a compute-bound shape (the
+	// paper's geometry, real kernel) and a comm-bound one (quarter tiles,
+	// kernel 5x faster), all three families at the same parameter.
+	type shape struct {
+		name  string
+		tile  int
+		ratio float64
+	}
+	shapes := []shape{
+		{"compute-bound", 0, 1}, // tile 0 = the workload's own tile
+		{"comm-bound", -4, 0.2}, // -4 = quarter tiles
+	}
+	tileOf := func(w Workload, sh shape) int {
+		if sh.tile == 0 {
+			return w.Tile
+		}
+		return w.Tile / -sh.tile
+	}
+	for _, w := range p.Workloads {
+		t := Table{
+			Title:   fmt.Sprintf("virtual time: %s, N=%d, s=w=%d", w.Machine.Name, w.N, s),
+			Columns: []string{"Shape", "Tile", "Ratio", "Nodes", "Base GF", "CA GF", "WF GF", "winner"},
+		}
+		for _, sh := range shapes {
+			tile := tileOf(w, sh)
+			for _, nodes := range p.Nodes {
+				pg, err := squareGrid(nodes)
+				if err != nil {
+					return nil, err
+				}
+				cfg := core.Config{N: w.N, TileRows: tile, P: pg, Steps: p.Steps}
+				rb, err := core.Simulate(core.Base, cfg, core.SimOptions{Machine: w.Machine, Ratio: sh.ratio})
+				if err != nil {
+					return nil, err
+				}
+				ca := cfg
+				ca.StepSize = s
+				rc, err := core.Simulate(core.CA, ca, core.SimOptions{Machine: w.Machine, Ratio: sh.ratio})
+				if err != nil {
+					return nil, err
+				}
+				wf := cfg
+				wf.Wavefront = s
+				rw, err := core.Simulate(core.WF, wf, core.SimOptions{Machine: w.Machine, Ratio: sh.ratio})
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(sh.name, itoa(tile), f1(sh.ratio), itoa(nodes),
+					f1(rb.GFLOPS), f1(rc.GFLOPS), f1(rw.GFLOPS),
+					winner3(rb.GFLOPS, rc.GFLOPS, rw.GFLOPS))
+			}
+		}
+		r.Tables = append(r.Tables, t)
+	}
+
+	// AutoPlan decisions over the same grid of points: the planner probes
+	// every candidate as both a CA step size and a wavefront width and must
+	// pick different families as the shape moves.
+	ap := Table{
+		Title:   "AutoPlan family decisions across the crossover",
+		Columns: []string{"Machine", "Shape", "Nodes", "Plan", "Plan GF", "gain vs base"},
+	}
+	for _, w := range p.Workloads {
+		for _, sh := range shapes {
+			tile := tileOf(w, sh)
+			for _, nodes := range p.Nodes {
+				pg, err := squareGrid(nodes)
+				if err != nil {
+					return nil, err
+				}
+				cfg := core.Config{N: w.N, TileRows: tile, P: pg, Steps: p.Steps}
+				plan, err := core.AutoPlan(cfg, w.Machine, sh.ratio, p.StepSizes)
+				if err != nil {
+					return nil, err
+				}
+				var base float64
+				for _, c := range plan.Candidates {
+					if c.Family == core.Base {
+						base = c.GFLOPS
+					}
+				}
+				ap.AddRow(w.Machine.Name, sh.name, itoa(nodes),
+					plan.Candidates[0].String(), f1(plan.BestGFLOPS), pct(plan.BestGFLOPS/base))
+			}
+		}
+	}
+	r.Tables = append(r.Tables, ap)
+
+	// Real runtime on a communication-bound toy: a 2x1 node grid has no
+	// diagonal node adjacencies, so under per-step coalescing the wavefront's
+	// bundle count is exactly base/w — the wire-level form of the w-fold
+	// message reduction.
+	rt := Table{
+		Title:   "real runtime: N=256 tile=8, 2x1 nodes x 2 workers, s=w=4, coalesce step",
+		Columns: []string{"Variant", "Elapsed", "Msgs", "Bundles", "MB sent"},
+	}
+	bundles := map[core.Variant]int{}
+	small := core.Config{N: 256, TileRows: 8, P: 2, Q: 1, Steps: 20}
+	for _, v := range []core.Variant{core.Base, core.CA, core.WF} {
+		cfg := small
+		switch v {
+		case core.CA:
+			cfg.StepSize = 4
+		case core.WF:
+			cfg.Wavefront = 4
+		}
+		res, err := core.RunReal(v, cfg, runtime.Options{Workers: 2, Coalesce: ptg.CoalesceStep})
+		if err != nil {
+			return nil, err
+		}
+		bundles[v] = res.Exec.BundlesSent
+		rt.AddRow(v.String(), res.Exec.Elapsed.Round(time.Millisecond).String(),
+			itoa(res.Exec.Messages), itoa(res.Exec.BundlesSent), f1(float64(res.Exec.BytesSent)/1e6))
+	}
+	r.Tables = append(r.Tables, rt)
+	if wfB := bundles[core.WF]; wfB > 0 {
+		r.Notes = append(r.Notes, fmt.Sprintf("wire-level reduction: base sent %d bundles, wavefront %d (%.1fx, w=4)",
+			bundles[core.Base], wfB, float64(bundles[core.Base])/float64(wfB)))
+	}
+	r.Notes = append(r.Notes,
+		"raw point-to-point dependencies shrink by less than w because width-w halos add diagonal tile flows; coalesced bundles are the honest wire-level unit",
+		"CA buys the same reduction with redundant ghost compute; the wavefront buys it with deep halos and a cache-resident diagonal sweep — AutoPlan arbitrates")
+	return r, nil
+}
+
+// winner3 names the best of the three families, preferring the cheaper
+// family (base, then CA) on exact ties.
+func winner3(base, ca, wf float64) string {
+	switch {
+	case base >= ca && base >= wf:
+		return "base"
+	case ca >= wf:
+		return "CA"
+	default:
+		return "WF"
+	}
+}

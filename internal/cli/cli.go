@@ -206,6 +206,16 @@ func (f *PosIntFlag) Set(s string) error {
 	return nil
 }
 
+// WavefrontVar registers -wavefront: the WF variant's block width (time
+// steps per fused wavefront task, ghost depth, exchange period). The
+// registry reuses the positive-integer validation of the sizing knobs, so a
+// zero or negative width fails at parse time in every binary identically.
+func WavefrontVar(fs *flag.FlagSet, def int) *PosIntFlag {
+	f := &PosIntFlag{name: "wavefront", N: def}
+	fs.Var(f, "wavefront", "WF block width w (steps per fused wavefront task)")
+	return f
+}
+
 // MaxJobsVar registers -maxjobs: the daemon's executor pool size (jobs
 // running concurrently).
 func MaxJobsVar(fs *flag.FlagSet, def int) *PosIntFlag {

@@ -41,6 +41,19 @@ type builder struct {
 	cfg  Config
 	part *grid.Partition
 	info [][]*tileInfo
+	// epochs is the number of compute tasks per tile: Steps for the
+	// per-step variants, ceil(Steps/w) wavefront blocks for WF.
+	epochs int
+}
+
+// effWidth returns the number of time steps WF block t (1-based) advances:
+// the configured width, truncated on the final block to the remaining steps.
+func (b *builder) effWidth(t int) int {
+	w := b.cfg.Wavefront
+	if rem := b.cfg.Steps - (t-1)*w; rem < w {
+		return rem
+	}
+	return w
 }
 
 // BuildGraph constructs the task graph of a stencil variant. With
@@ -68,6 +81,11 @@ func BuildGraph(v Variant, cfg Config) (*ptg.Graph, error) {
 			if v == CA && inf.boundary {
 				inf.halo = cfg.StepSize
 			}
+			if v == WF {
+				// Every tile carries the deep ghost region: all flows —
+				// intra-node ones included — happen once per block.
+				inf.halo = cfg.Wavefront
+			}
 			inf.stateSlot = -1
 			for d := range inf.sendSlot {
 				inf.sendSlot[d] = slotRange{base: -1}
@@ -77,15 +95,20 @@ func BuildGraph(v Variant, cfg Config) (*ptg.Graph, error) {
 		}
 	}
 
+	bd.epochs = cfg.Steps
+	if v == WF {
+		bd.epochs = (cfg.Steps + cfg.Wavefront - 1) / cfg.Wavefront
+	}
 	gb := ptg.NewBuilder(part.Nodes())
 	if cfg.WithBodies {
 		bd.allocSlots(gb)
 	}
-	// Tasks: one chain per tile, steps 0 (init) .. Steps.
+	// Tasks: one chain per tile, epochs 0 (init) .. epochs — one task per
+	// step for Base/CA, one per wavefront block for WF.
 	for ti := 0; ti < part.TR; ti++ {
 		for tj := 0; tj < part.TC; tj++ {
 			inf := bd.info[ti][tj]
-			for t := 0; t <= cfg.Steps; t++ {
+			for t := 0; t <= bd.epochs; t++ {
 				task := ptg.Task{
 					ID:       taskID(ti, tj, t),
 					Node:     inf.node,
@@ -110,7 +133,7 @@ func BuildGraph(v Variant, cfg Config) (*ptg.Graph, error) {
 	for ti := 0; ti < part.TR; ti++ {
 		for tj := 0; tj < part.TC; tj++ {
 			inf := bd.info[ti][tj]
-			for t := 1; t <= cfg.Steps; t++ {
+			for t := 1; t <= bd.epochs; t++ {
 				// Serial self-dependency: the tile's double buffer.
 				if err := gb.AddDep(taskID(ti, tj, t), taskID(ti, tj, t-1), ptg.Dep{}); err != nil {
 					return nil, err
@@ -276,8 +299,30 @@ func (b *builder) neighbor(inf *tileInfo, d grid.Dir) *tileInfo {
 //     final phase is truncated to the remaining steps.
 //   - CA, consumer is interior: one-layer cardinal edges every step, as in
 //     the base version.
+//   - WF: every tile flows after every block; the depth is the effective
+//     width of the consuming block t+1 (truncated on the final block), with
+//     depth x depth corners from diagonals whenever the block is deeper
+//     than one step (the shrinking per-level regions read corner data,
+//     exactly as in CA).
 func (b *builder) flow(prod *tileInfo, d grid.Dir, t int) (depth int, ok bool) {
-	if t >= b.cfg.Steps || t < 0 {
+	if t < 0 {
+		return 0, false
+	}
+	if b.v == WF {
+		if t >= b.epochs {
+			return 0, false
+		}
+		cons := b.neighbor(prod, d)
+		if cons == nil {
+			return 0, false
+		}
+		depth = b.effWidth(t + 1)
+		if depth == 1 && !d.Cardinal() && !b.cfg.NinePoint {
+			return 0, false
+		}
+		return depth, true
+	}
+	if t >= b.cfg.Steps {
 		return 0, false
 	}
 	cons := b.neighbor(prod, d)
@@ -327,7 +372,7 @@ func (b *builder) kind(inf *tileInfo, t int) ptg.Kind {
 // iteration so their halos enter the network as soon as possible — the
 // standard PaRSEC priority hint for stencils.
 func (b *builder) priority(inf *tileInfo, t int) int32 {
-	p := int32(b.cfg.Steps-t) * 2
+	p := int32(b.epochs-t) * 2
 	if inf.boundary {
 		p++
 	}
@@ -394,13 +439,36 @@ func (b *builder) hint(inf *tileInfo, t int) ptg.CostHint {
 	if b.v == CA && inf.boundary {
 		h.RedundantUpdates = b.region(inf, t).Size() - h.Updates
 	}
+	if b.v == WF {
+		// One task covers a whole block: wb interior sweeps, plus the
+		// shrinking ghost-region margins of every level above it.
+		wb := b.effWidth(t)
+		total := 0
+		for _, rc := range b.wfRegions(inf, wb) {
+			total += rc.Size()
+		}
+		h.Updates = wb * inf.rows * inf.cols
+		h.RedundantUpdates = total - h.Updates
+	}
 	return h
+}
+
+// wfRegions returns the per-level update rects of tile inf's width-wb
+// wavefront block (level k extends the interior by wb-k layers on sides
+// with neighbors).
+func (b *builder) wfRegions(inf *tileInfo, wb int) []grid.Rect {
+	return stencil.WavefrontRegions(inf.rows, inf.cols, wb, func(d grid.Dir) bool {
+		return b.neighbor(inf, d) != nil
+	})
 }
 
 // body builds the executable closure of a task.
 func (b *builder) body(inf *tileInfo, t int) func(ptg.Env) {
 	if t == 0 {
 		return b.initBody(inf)
+	}
+	if b.v == WF {
+		return b.wavefrontBody(inf, t)
 	}
 	return b.computeBody(inf, t)
 }
@@ -457,6 +525,37 @@ func (b *builder) computeBody(inf *tileInfo, t int) func(ptg.Env) {
 			stencil.Apply(w, st.next, st.cur, rect)
 		}
 		st.cur, st.next = st.next, st.cur
+		b.produce(e, st, inf, t)
+	}
+}
+
+// wavefrontBody builds the fused WF task for block t (1-based): it consumes
+// the fresh w-deep halos of the block, advances the tile effWidth(t) steps
+// with one diagonal in-tile sweep, and publishes the next block's halos. The
+// kernel leaves the final level in whichever buffer the depth's parity picks,
+// so the double-buffer swap is conditional.
+func (b *builder) wavefrontBody(inf *tileInfo, t int) func(ptg.Env) {
+	w := b.cfg.Weights
+	w9 := b.cfg.Weights9
+	nine := b.cfg.NinePoint
+	regions := b.wfRegions(inf, b.effWidth(t))
+	return func(e ptg.Env) {
+		var st *tileState
+		if se, ok := e.(ptg.SlotEnv); ok && inf.stateSlot >= 0 {
+			st = se.GetSlot(inf.stateSlot).(*tileState)
+		} else {
+			st = e.Get(TileKey{TI: inf.ti, TJ: inf.tj}).(*tileState)
+		}
+		b.consume(e, st, inf, t)
+		var res *grid.Tile
+		if nine {
+			res = stencil.Wavefront9(w9, st.cur, st.next, regions)
+		} else {
+			res = stencil.Wavefront(w, st.cur, st.next, regions)
+		}
+		if res != st.cur {
+			st.cur, st.next = st.next, st.cur
+		}
 		b.produce(e, st, inf, t)
 	}
 }

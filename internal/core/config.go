@@ -30,6 +30,15 @@ const (
 	Base Variant = iota
 	// CA is the PA1 communication-avoiding version.
 	CA
+	// WF is the wavefront temporal-blocking version: every tile carries a
+	// w-layer ghost region (plus w x w corner blocks), all tiles exchange
+	// only every w iterations, and one fused task advances a tile w steps
+	// with an in-tile diagonal wavefront whose per-level update regions
+	// shrink like the CA trapezoid. Where CA deepens only node-boundary
+	// tiles and still runs one task per tile per step, WF trades more
+	// ghost-region recompute for w-fold fewer tasks and exchanges on every
+	// tile.
+	WF
 )
 
 func (v Variant) String() string {
@@ -38,6 +47,8 @@ func (v Variant) String() string {
 		return "base"
 	case CA:
 		return "ca"
+	case WF:
+		return "wf"
 	}
 	return "unknown"
 }
@@ -57,6 +68,10 @@ type Config struct {
 	// StepSize is the CA exchange period s (the paper sweeps 5..40,
 	// default 15). Ignored by the base variant.
 	StepSize int
+	// Wavefront is the WF block width w: the number of time steps one
+	// fused wavefront task advances a tile, which is also its ghost depth
+	// and exchange period (default 10). Ignored by the other variants.
+	Wavefront int
 	// Weights are the stencil coefficients (default stencil.Jacobi()).
 	Weights stencil.Weights
 	// NinePoint switches to the nine-point stencil (17 flops/update, the
@@ -95,6 +110,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StepSize == 0 {
 		c.StepSize = 15
+	}
+	if c.Wavefront == 0 {
+		c.Wavefront = 10
 	}
 	if c.Weights == (stencil.Weights{}) {
 		c.Weights = stencil.Jacobi()
@@ -136,23 +154,19 @@ func (c Config) validate(v Variant) (*grid.Partition, error) {
 		// Deep halos are packed out of neighbor interiors, so the step
 		// size may not exceed any tile dimension (ragged edge tiles
 		// included).
-		minDim := c.TileRows
-		if c.TileCols < minDim {
-			minDim = c.TileCols
-		}
-		for ti := 0; ti < p.TR; ti++ {
-			for tj := 0; tj < p.TC; tj++ {
-				r, cc := p.TileDims(ti, tj)
-				if r < minDim {
-					minDim = r
-				}
-				if cc < minDim {
-					minDim = cc
-				}
-			}
-		}
-		if c.StepSize > minDim {
+		if minDim := p.MinTileDim(); c.StepSize > minDim {
 			return nil, fmt.Errorf("core: CA StepSize %d exceeds smallest tile dimension %d", c.StepSize, minDim)
+		}
+	}
+	if v == WF {
+		if c.Wavefront < 1 {
+			return nil, fmt.Errorf("core: WF Wavefront must be >= 1, got %d", c.Wavefront)
+		}
+		// The same feasibility rule as CA: w-deep halos are packed out of
+		// neighbor interiors, so the width may not exceed any tile
+		// dimension (ragged edge tiles included).
+		if minDim := p.MinTileDim(); c.Wavefront > minDim {
+			return nil, fmt.Errorf("core: WF Wavefront %d exceeds smallest tile dimension %d", c.Wavefront, minDim)
 		}
 	}
 	return p, nil

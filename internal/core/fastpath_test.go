@@ -171,6 +171,16 @@ func BenchmarkExecutorRealCA(b *testing.B) {
 	}
 }
 
+// BenchmarkExecutorWavefront is the temporal-blocking variant: the same
+// shape as the CA experiment but with w steps fused per task, so the graph
+// carries 4x fewer epochs and every halo is w deep.
+func BenchmarkExecutorWavefront(b *testing.B) {
+	cfg := Config{N: 256, TileRows: 16, P: 2, Steps: 20, Wavefront: 4}
+	for _, sc := range benchSchedCases() {
+		b.Run(sc.Name, func(b *testing.B) { benchExecutor(b, WF, cfg, sc.Opts) })
+	}
+}
+
 // TestFastPathStaysOnOracle re-checks the oracle on a configuration mixing
 // every flow kind the slot allocator distinguishes: CA with boundary and
 // interior tiles, a truncated final phase, and multiple workers racing on

@@ -68,6 +68,25 @@ func (p *Partition) TileDims(ti, tj int) (rows, cols int) {
 	return rows, cols
 }
 
+// MinTileDim returns the smallest tile extent of the partition, ragged edge
+// tiles included — the feasibility bound for deep-halo schemes, whose ghost
+// regions are packed out of neighbor interiors.
+func (p *Partition) MinTileDim() int {
+	min := p.N
+	for ti := 0; ti < p.TR; ti++ {
+		for tj := 0; tj < p.TC; tj++ {
+			r, c := p.TileDims(ti, tj)
+			if r < min {
+				min = r
+			}
+			if c < min {
+				min = c
+			}
+		}
+	}
+	return min
+}
+
 // TileOrigin returns the global coordinates of tile (ti, tj)'s (0,0) point.
 func (p *Partition) TileOrigin(ti, tj int) (r0, c0 int) {
 	return ti * p.TileRows, tj * p.TileCols

@@ -85,13 +85,14 @@ type Spec struct {
 	// Engine selects the execution engine: "real" (castencil.Run, exact
 	// numerics; the default) or "sim" (castencil.Sim, virtual time).
 	Engine string `json:"engine,omitempty"`
-	// Variant is "base" or "ca" (default "ca"). Ignored when Plan is
-	// "auto".
+	// Variant is "base", "ca" or "wf" (default "ca"). Ignored when Plan
+	// is "auto".
 	Variant string `json:"variant,omitempty"`
-	// Plan, when "auto", runs the AutoPlan step-size planner against the
-	// machine model first and executes the recommended configuration
-	// (base, or CA with the winning step size) — the paper's section-VII
-	// "transparent CA" as a per-request decision.
+	// Plan, when "auto", runs the AutoPlan kernel-family planner against
+	// the machine model first and executes the recommended configuration
+	// (base, CA with the winning step size, or WF with the winning
+	// wavefront width) — the paper's section-VII "transparent CA" as a
+	// per-request decision.
 	Plan string `json:"plan,omitempty"`
 
 	N        int `json:"n"`
@@ -99,6 +100,8 @@ type Spec struct {
 	Nodes    int `json:"nodes,omitempty"` // perfect square, default 1
 	Steps    int `json:"steps"`
 	StepSize int `json:"step_size,omitempty"`
+	// Wavefront is the WF variant's block width (0 = library default).
+	Wavefront int `json:"wavefront,omitempty"`
 	// Seed selects the deterministic initial condition (HashInit); 0 means
 	// the library default (seed 1). Two jobs with equal geometry and seed
 	// produce bitwise-identical grids, whatever else runs concurrently.
@@ -157,8 +160,10 @@ func (s Spec) build() (*buildSpec, error) {
 		b.variant = castencil.CA
 	case "base":
 		b.variant = castencil.Base
+	case "wf":
+		b.variant = castencil.WF
 	default:
-		return nil, fmt.Errorf("server: unknown variant %q (base, ca)", s.Variant)
+		return nil, fmt.Errorf("server: unknown variant %q (base, ca, wf)", s.Variant)
 	}
 	switch strings.ToLower(s.Plan) {
 	case "":
@@ -181,7 +186,7 @@ func (s Spec) build() (*buildSpec, error) {
 	if p*p != nodes {
 		return nil, fmt.Errorf("server: nodes = %d is not a perfect square", nodes)
 	}
-	b.cfg = castencil.Config{N: s.N, TileRows: s.Tile, P: p, Steps: s.Steps, StepSize: s.StepSize}
+	b.cfg = castencil.Config{N: s.N, TileRows: s.Tile, P: p, Steps: s.Steps, StepSize: s.StepSize, Wavefront: s.Wavefront}
 	if s.Seed != 0 {
 		b.cfg.Init = castencil.HashInit(s.Seed)
 	}
@@ -219,28 +224,22 @@ func (s Spec) build() (*buildSpec, error) {
 		return nil, err
 	}
 	// Validate the geometry eagerly so admission errors beat queue time:
-	// the partition must exist, and a CA request's step size may not
-	// exceed the smallest tile dimension (the core's own rule — checking
-	// it here turns a would-be run failure into an immediate 400).
+	// the partition must exist, and a deep-halo request's parameter (CA
+	// step size, WF width) may not exceed the smallest tile dimension (the
+	// core's own rule — checking it here turns a would-be run failure into
+	// an immediate 400).
 	part, err := b.cfg.Partition()
 	if err != nil {
 		return nil, fmt.Errorf("server: spec rejected: %w", err)
 	}
 	if b.variant == castencil.CA && !b.planAuto && s.StepSize > 0 {
-		minDim := s.N
-		for ti := 0; ti < part.TR; ti++ {
-			for tj := 0; tj < part.TC; tj++ {
-				r, c := part.TileDims(ti, tj)
-				if r < minDim {
-					minDim = r
-				}
-				if c < minDim {
-					minDim = c
-				}
-			}
-		}
-		if s.StepSize > minDim {
+		if minDim := part.MinTileDim(); s.StepSize > minDim {
 			return nil, fmt.Errorf("server: spec rejected: CA step_size %d exceeds smallest tile dimension %d", s.StepSize, minDim)
+		}
+	}
+	if b.variant == castencil.WF && !b.planAuto && s.Wavefront > 0 {
+		if minDim := part.MinTileDim(); s.Wavefront > minDim {
+			return nil, fmt.Errorf("server: spec rejected: WF wavefront %d exceeds smallest tile dimension %d", s.Wavefront, minDim)
 		}
 	}
 	return b, nil
@@ -334,9 +333,13 @@ type View struct {
 	Progress   float64 `json:"progress"`
 
 	// Plan reports the AutoPlan decision of a plan=auto job: the chosen
-	// step size (0 = base variant) and its predicted GFLOP/s.
+	// kernel family ("base", "ca", "wf"), its parameter (step size for CA,
+	// wavefront width for WF) and its predicted GFLOP/s. PlanStepSize is
+	// the legacy two-way field (0 = not CA).
 	PlanStepSize *int     `json:"plan_step_size,omitempty"`
 	PlanGFLOPS   *float64 `json:"plan_gflops,omitempty"`
+	PlanFamily   *string  `json:"plan_family,omitempty"`
+	PlanWidth    *int     `json:"plan_width,omitempty"`
 }
 
 // Snapshot captures the job's current state for serialization.
@@ -362,7 +365,9 @@ func (j *Job) Snapshot() View {
 	}
 	if j.plan != nil {
 		s, g := j.plan.BestStepSize, j.plan.BestGFLOPS
+		fam, w := j.plan.BestFamily.String(), j.plan.BestWidth
 		v.PlanStepSize, v.PlanGFLOPS = &s, &g
+		v.PlanFamily, v.PlanWidth = &fam, &w
 	}
 	j.mu.Unlock()
 	v.TasksDone = j.progDone.Load()

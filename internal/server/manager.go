@@ -350,10 +350,14 @@ func (m *Manager) runJob(j *Job) {
 		j.mu.Lock()
 		j.plan = plan
 		j.mu.Unlock()
-		if plan.UseCA() {
+		switch {
+		case plan.UseCA():
 			variant = castencil.CA
 			cfg.StepSize = plan.BestStepSize
-		} else {
+		case plan.UseWavefront():
+			variant = castencil.WF
+			cfg.Wavefront = plan.BestWidth
+		default:
 			variant = castencil.Base
 		}
 	}

@@ -313,7 +313,8 @@ func TestSpecValidation(t *testing.T) {
 		{N: 64, Tile: 16, Steps: 4, Sched: "mystery"},
 		{N: 64, Tile: 16, Steps: 4, Machine: "Cray-1"},
 		{N: 64, Tile: 16, Steps: 4, TimeoutMS: -1},
-		{N: 64, Tile: 16, Steps: 4, StepSize: 64, Variant: "ca"}, // step > tile
+		{N: 64, Tile: 16, Steps: 4, StepSize: 64, Variant: "ca"},  // step > tile
+		{N: 64, Tile: 16, Steps: 4, Wavefront: 64, Variant: "wf"}, // width > tile
 	}
 	for i, spec := range cases {
 		if _, err := m.Submit(spec); err == nil {
@@ -343,11 +344,18 @@ func TestAutoPlanJob(t *testing.T) {
 	if v.PlanStepSize == nil || *v.PlanStepSize != plan.BestStepSize {
 		t.Errorf("view plan step = %v, want %d", v.PlanStepSize, plan.BestStepSize)
 	}
+	if v.PlanFamily == nil || *v.PlanFamily != plan.BestFamily.String() {
+		t.Errorf("view plan family = %v, want %q", v.PlanFamily, plan.BestFamily)
+	}
 	// Replay the planner's choice directly: grids must match bitwise.
 	variant, cfg := castencil.Base, castencil.Config{N: 64, TileRows: 16, P: 1, Steps: 6, Init: castencil.HashInit(3)}
-	if plan.UseCA() {
+	switch {
+	case plan.UseCA():
 		variant = castencil.CA
 		cfg.StepSize = plan.BestStepSize
+	case plan.UseWavefront():
+		variant = castencil.WF
+		cfg.Wavefront = plan.BestWidth
 	}
 	res, err := castencil.Run(variant, cfg, castencil.WithWorkers(1))
 	if err != nil {
@@ -357,6 +365,26 @@ func TestAutoPlanJob(t *testing.T) {
 	want := gridHash(res)
 	if got != want {
 		t.Error("plan=auto grid differs from direct run of the planned configuration")
+	}
+}
+
+// TestWavefrontJob submits variant=wf and checks the service path produces
+// the exact grid a direct library run does.
+func TestWavefrontJob(t *testing.T) {
+	m := New(Config{MaxJobs: 1, QueueSize: 4})
+	defer shutdownNow(t, m)
+	j, err := m.Submit(Spec{Engine: "real", Variant: "wf", N: 64, Tile: 16, Steps: 8, Wavefront: 4, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateDone, 60*time.Second)
+	cfg := castencil.Config{N: 64, TileRows: 16, P: 1, Steps: 8, Wavefront: 4, Init: castencil.HashInit(5)}
+	res, err := castencil.Run(castencil.WF, cfg, castencil.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gridHash(j.RealResult()) != gridHash(res) {
+		t.Error("variant=wf job grid differs from direct run")
 	}
 }
 

@@ -1,0 +1,209 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+
+	"castencil/internal/grid"
+)
+
+// wavefrontOracle advances the same per-level regions with plain sequential
+// sweeps over two alternating buffers — the trivially correct schedule the
+// interleaved wavefront must reproduce bitwise.
+func wavefrontOracle(w Weights, cur, next *grid.Tile, regions []grid.Rect) *grid.Tile {
+	bufs := [2]*grid.Tile{cur, next}
+	for k := 1; k <= len(regions); k++ {
+		Apply(w, bufs[k%2], bufs[(k-1)%2], regions[k-1])
+	}
+	return bufs[len(regions)%2]
+}
+
+// tileFromGlobal cuts the [r0, r0+rows) x [c0, c0+cols) window of a global
+// reference grid into a halo-deep tile, ghost region included (in-domain
+// ghosts come from the grid, out-of-domain ghosts from the boundary).
+func tileFromGlobal(ref *Reference, r0, c0, rows, cols, halo int, b Boundary) *grid.Tile {
+	t := grid.NewTile(rows, cols, halo)
+	for r := -halo; r < rows+halo; r++ {
+		for c := -halo; c < cols+halo; c++ {
+			gr, gc := r0+r, c0+c
+			if gr >= 0 && gr < ref.N && gc >= 0 && gc < ref.N {
+				t.Set(r, c, ref.At(gr, gc))
+			} else {
+				t.Set(r, c, b(gr, gc))
+			}
+		}
+	}
+	return t
+}
+
+// TestWavefrontMatchesReference checks the fused diagonal sweep against the
+// sequential whole-grid oracle: a tile anywhere in the domain, loaded with a
+// width-w ghost snapshot of level 0, must reproduce the oracle's values over
+// its interior after w steps — bitwise — for several widths, tile shapes and
+// positions (interior tile, corner tile, edge tile).
+func TestWavefrontMatchesReference(t *testing.T) {
+	const n = 24
+	bnd := ConstBoundary(0.5)
+	for _, w := range []Weights{Jacobi(), Heat(0.2)} {
+		for _, tc := range []struct {
+			r0, c0, rows, cols, wb int
+		}{
+			{8, 8, 8, 8, 4},  // interior tile, all neighbors
+			{0, 0, 8, 8, 4},  // corner tile
+			{0, 8, 8, 8, 3},  // edge tile
+			{8, 0, 10, 6, 5}, // rectangular edge tile
+			{8, 8, 8, 8, 1},  // degenerate width-1 block
+			{16, 8, 8, 8, 8}, // width == tile dim
+		} {
+			ref := NewReference(n, w, HashInit(7), bnd)
+			// A "neighbor" side is any side with domain beyond the tile edge;
+			// only global-boundary sides may skip the region extension.
+			has := func(d grid.Dir) bool {
+				dr, dc := d.Delta()
+				if dr < 0 && tc.r0 == 0 {
+					return false
+				}
+				if dr > 0 && tc.r0+tc.rows >= n {
+					return false
+				}
+				if dc < 0 && tc.c0 == 0 {
+					return false
+				}
+				if dc > 0 && tc.c0+tc.cols >= n {
+					return false
+				}
+				return true
+			}
+			regions := WavefrontRegions(tc.rows, tc.cols, tc.wb, has)
+			cur := tileFromGlobal(ref, tc.r0, tc.c0, tc.rows, tc.cols, tc.wb, bnd)
+			next := grid.NewTile(tc.rows, tc.cols, tc.wb)
+			FillBoundary(next, tc.r0, tc.c0, n, bnd)
+			got := Wavefront(w, cur, next, regions)
+
+			ref.Run(tc.wb)
+			for r := 0; r < tc.rows; r++ {
+				for c := 0; c < tc.cols; c++ {
+					want := ref.At(tc.r0+r, tc.c0+c)
+					if math.Float64bits(got.At(r, c)) != math.Float64bits(want) {
+						t.Fatalf("w=%+v tile@(%d,%d) %dx%d wb=%d: point (%d,%d) = %v, want %v",
+							w, tc.r0, tc.c0, tc.rows, tc.cols, tc.wb, r, c, got.At(r, c), want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWavefrontMatchesSequentialSweeps pins the two-buffer interleaving
+// against non-interleaved per-level sweeps over the identical regions: any
+// divergence means the diagonal schedule read a clobbered or not-yet-written
+// row.
+func TestWavefrontMatchesSequentialSweeps(t *testing.T) {
+	const rows, cols, wb = 12, 9, 6
+	w := Heat(0.19)
+	init := HashInit(3)
+	mk := func() (*grid.Tile, *grid.Tile) {
+		cur := grid.NewTile(rows, cols, wb)
+		for r := -wb; r < rows+wb; r++ {
+			for c := -wb; c < cols+wb; c++ {
+				cur.Set(r, c, init(r+wb, c+wb))
+			}
+		}
+		next := grid.NewTile(rows, cols, wb)
+		return cur, next
+	}
+	regions := WavefrontRegions(rows, cols, wb, func(grid.Dir) bool { return true })
+	curA, nextA := mk()
+	curB, nextB := mk()
+	got := Wavefront(w, curA, nextA, regions)
+	want := wavefrontOracle(w, curB, nextB, regions)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if math.Float64bits(got.At(r, c)) != math.Float64bits(want.At(r, c)) {
+				t.Fatalf("point (%d,%d) = %v, want %v", r, c, got.At(r, c), want.At(r, c))
+			}
+		}
+	}
+}
+
+// TestWavefront9MatchesReference is the nine-point analog of the reference
+// test: same skew, same regions, diagonal-reading row kernel.
+func TestWavefront9MatchesReference(t *testing.T) {
+	const n = 20
+	w := Jacobi9()
+	bnd := ConstBoundary(0.25)
+	for _, tc := range []struct {
+		r0, c0, rows, cols, wb int
+	}{
+		{5, 5, 10, 10, 4}, // interior-ish tile
+		{0, 0, 10, 10, 3}, // corner tile
+	} {
+		ref := NewReference9(n, w, HashInit(11), bnd)
+		has := func(d grid.Dir) bool {
+			dr, dc := d.Delta()
+			if dr < 0 && tc.r0 == 0 {
+				return false
+			}
+			if dr > 0 && tc.r0+tc.rows >= n {
+				return false
+			}
+			if dc < 0 && tc.c0 == 0 {
+				return false
+			}
+			if dc > 0 && tc.c0+tc.cols >= n {
+				return false
+			}
+			return true
+		}
+		regions := WavefrontRegions(tc.rows, tc.cols, tc.wb, has)
+		refView := &Reference{N: n, cur: ref.cur}
+		cur := tileFromGlobal(refView, tc.r0, tc.c0, tc.rows, tc.cols, tc.wb, bnd)
+		next := grid.NewTile(tc.rows, tc.cols, tc.wb)
+		FillBoundary(next, tc.r0, tc.c0, n, bnd)
+		got := Wavefront9(w, cur, next, regions)
+
+		ref.Run(tc.wb)
+		for r := 0; r < tc.rows; r++ {
+			for c := 0; c < tc.cols; c++ {
+				want := ref.At(tc.r0+r, tc.c0+c)
+				if math.Float64bits(got.At(r, c)) != math.Float64bits(want) {
+					t.Fatalf("tile@(%d,%d) wb=%d: point (%d,%d) = %v, want %v",
+						tc.r0, tc.c0, tc.wb, r, c, got.At(r, c), want)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkKernelWavefront measures the fused w-step sweep against w
+// separate whole-tile sweeps on the same geometry — the cache-residency
+// argument for temporal blocking in one number.
+func BenchmarkKernelWavefront(b *testing.B) {
+	const rows, cols, wb = 256, 256, 8
+	w := Heat(0.2)
+	regions := WavefrontRegions(rows, cols, wb, func(grid.Dir) bool { return false })
+	cur := grid.NewTile(rows, cols, wb)
+	next := grid.NewTile(rows, cols, wb)
+	init := HashInit(1)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			cur.Set(r, c, init(r, c))
+		}
+	}
+	b.Run("wavefront", func(b *testing.B) {
+		b.SetBytes(int64(rows * cols * wb * 8))
+		for i := 0; i < b.N; i++ {
+			Wavefront(w, cur, next, regions)
+		}
+	})
+	b.Run("separate-sweeps", func(b *testing.B) {
+		b.SetBytes(int64(rows * cols * wb * 8))
+		rc := grid.Rect{R0: 0, C0: 0, H: rows, W: cols}
+		for i := 0; i < b.N; i++ {
+			bufs := [2]*grid.Tile{cur, next}
+			for k := 1; k <= wb; k++ {
+				Apply(w, bufs[k%2], bufs[(k-1)%2], rc)
+			}
+		}
+	})
+}

@@ -105,6 +105,9 @@ type RunOptions struct {
 	// Ratio is the paper's kernel-adjustment ratio for simulated runs
 	// (0 or 1 = full kernel).
 	Ratio float64
+	// Wavefront, when positive, overrides Config.Wavefront — the WF block
+	// width — for either engine (ignored by the other variants).
+	Wavefront int
 	// Ctx bounds the run on either engine: a cancelled or deadline-exceeded
 	// context stops workers and communication goroutines promptly (task
 	// granularity) and the run returns a *CancelError wrapping the context
@@ -181,6 +184,11 @@ func WithMachine(m *Machine) Option { return func(o *RunOptions) { o.Machine = m
 // WithRatio sets the paper's kernel-adjustment ratio for simulated runs.
 func WithRatio(r float64) Option { return func(o *RunOptions) { o.Ratio = r } }
 
+// WithWavefront sets the WF variant's block width — the number of time
+// steps one fused wavefront task advances a tile, which is also its ghost
+// depth and exchange period — overriding Config.Wavefront on either engine.
+func WithWavefront(w int) Option { return func(o *RunOptions) { o.Wavefront = w } }
+
 // WithContext bounds the run with ctx on either engine: cancellation or a
 // deadline stops the run promptly (nothing new starts, communication
 // drains) and Run/Sim return a *CancelError that wraps the context error —
@@ -252,7 +260,11 @@ func (o RunOptions) sim() SimOptions {
 // exact, bitwise identical to the sequential reference whatever the
 // scheduling, coalescing or (masked) fault injection. It replaces RunReal.
 func Run(v Variant, cfg Config, opts ...Option) (*RealResult, error) {
-	return core.RunReal(v, cfg, BuildRunOptions(opts...).real())
+	o := BuildRunOptions(opts...)
+	if o.Wavefront > 0 {
+		cfg.Wavefront = o.Wavefront
+	}
+	return core.RunReal(v, cfg, o.real())
 }
 
 // Sim predicts a stencil variant's performance on a machine model in
@@ -261,6 +273,9 @@ func Sim(v Variant, cfg Config, opts ...Option) (*SimResult, error) {
 	o := BuildRunOptions(opts...)
 	if o.Machine == nil {
 		return nil, fmt.Errorf("castencil: Sim requires WithMachine")
+	}
+	if o.Wavefront > 0 {
+		cfg.Wavefront = o.Wavefront
 	}
 	return core.Simulate(v, cfg, o.sim())
 }
