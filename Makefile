@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-sched bench-comm bench-fault bench-serve bench-tb serve check
+.PHONY: all build vet test race bench-smoke bench bench-sched bench-comm bench-fault bench-serve bench-tb bench-overlap serve check
 
 all: check
 
@@ -65,6 +65,15 @@ bench-tb:
 		-benchtime 20x -benchmem \
 		./internal/stencil/ ./internal/core/
 	$(GO) run ./cmd/stencilbench -exp tb -quick
+
+# Inner/border split ablation behind BENCH_7.json: delayed-link speedup,
+# clean-wire boundary, and real-runtime traffic parity for the overlap
+# transform, plus the split-executor microbenchmark.
+bench-overlap:
+	$(GO) test -run '^$$' -bench 'ExecutorSplit' \
+		-benchtime 1x -benchmem \
+		./internal/core/
+	$(GO) run ./cmd/stencilbench -exp overlap -quick
 
 # Run the stencil-as-a-service daemon locally.
 serve:

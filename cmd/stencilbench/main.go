@@ -34,6 +34,7 @@ func main() {
 	steps := flag.Int("steps", 0, "override iteration count")
 	sched := cli.SchedVar(flag.CommandLine, "")
 	coalesce := cli.CoalesceVar(flag.CommandLine, "")
+	transform := cli.TransformVar(flag.CommandLine, "")
 	faultSpec := cli.FaultVar(flag.CommandLine)
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the experiments to this file")
@@ -77,6 +78,7 @@ func main() {
 	}
 	p.Sched = sched.Name
 	p.Coalesce = coalesce.Name
+	p.Transform = transform.Name
 	p.Fault = faultSpec.Spec
 	o := bench.ExpOpts{Host: *host, GanttWidth: *gantt}
 

@@ -40,6 +40,7 @@ func main() {
 	workers := flag.Int("workers", 2, "workers per node (real engine)")
 	schedFlag := cli.SchedVar(flag.CommandLine, "steal")
 	coalesceFlag := cli.CoalesceVar(flag.CommandLine, "off")
+	transformFlag := cli.TransformVar(flag.CommandLine, "none")
 	faultFlag := cli.FaultVar(flag.CommandLine)
 	verify := flag.Bool("verify", false, "real engine: compare against the sequential oracle")
 	traceOut := flag.String("trace", "", "write a CSV trace to this file (sim: node 0; real: all nodes)")
@@ -56,7 +57,7 @@ func main() {
 		fail(fmt.Errorf("nodes = %d is not a perfect square", *nodes))
 	}
 	m := machineFlag.Model
-	cfg := castencil.Config{N: *n, TileRows: *tile, P: p, Steps: *steps, StepSize: *stepSize, Wavefront: wavefrontFlag.N}
+	cfg := castencil.Config{N: *n, TileRows: *tile, P: p, Steps: *steps, StepSize: *stepSize, Wavefront: wavefrontFlag.N, Transform: transformFlag.Mode}
 
 	if *dotOut != "" {
 		variant := castencil.Base
@@ -180,6 +181,10 @@ func main() {
 		if res.Fault.Any() {
 			fmt.Printf("  fault plan %q masked: %v\n", faultFlag.Spec, res.Fault)
 		}
+		if res.InteriorTasks > 0 {
+			fmt.Printf("  split: %d interior + %d border tasks, overlap ratio %.2f\n",
+				res.InteriorTasks, res.BorderTasks, res.OverlapRatio)
+		}
 		if tr != nil {
 			writeTrace(tr, *traceOut, "trace of node 0")
 		}
@@ -209,6 +214,10 @@ func main() {
 		}
 		if res.Exec.Fault.Any() {
 			fmt.Printf("  fault plan %q masked: %v\n", faultFlag.Spec, res.Exec.Fault)
+		}
+		if res.Exec.InteriorTasks > 0 {
+			fmt.Printf("  split: %d interior + %d border tasks, overlap ratio %.2f\n",
+				res.Exec.InteriorTasks, res.Exec.BorderTasks, res.Exec.OverlapRatio)
 		}
 		if schedFlag.Sched == castencil.WorkStealing {
 			hits, steals, parks := 0, 0, 0

@@ -105,6 +105,9 @@ type Params struct {
 	// Fault, when non-empty, replaces the fault ablation's canned plans
 	// with this spec (fault.SpecSyntax grammar, e.g. "drop=0.01,seed=7").
 	Fault string
+	// Transform filters the overlap ablation to one graph-transform mode
+	// ("none", "split"); empty runs the full split-vs-unsplit comparison.
+	Transform string
 }
 
 // PaperParams returns the paper's exact experimental configuration.

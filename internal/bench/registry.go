@@ -85,6 +85,8 @@ var experiments = []Experiment{
 		func(p Params, o ExpOpts, w io.Writer) error { r, err := TemporalBlocking(p); return writeReport(r, err, w) }},
 	{"fault", "fault injection and recovery ablation",
 		func(p Params, o ExpOpts, w io.Writer) error { r, err := FaultAblation(p); return writeReport(r, err, w) }},
+	{"overlap", "inner/border split: communication-computation overlap",
+		func(p Params, o ExpOpts, w io.Writer) error { r, err := Overlap(p); return writeReport(r, err, w) }},
 	{"serve", "stencild job-manager throughput",
 		func(p Params, o ExpOpts, w io.Writer) error { r, err := Serve(p); return writeReport(r, err, w) }},
 }

@@ -13,6 +13,7 @@ import (
 	"net"
 	"strconv"
 
+	"castencil/internal/core"
 	"castencil/internal/fault"
 	"castencil/internal/machine"
 	"castencil/internal/ptg"
@@ -91,6 +92,42 @@ func CoalesceVar(fs *flag.FlagSet, def string) *CoalesceFlag {
 		panic(fmt.Sprintf("cli: bad default -coalesce %q: %v", def, err))
 	}
 	fs.Var(f, "coalesce", "halo-bundle coalescing: "+ptg.CoalesceNames)
+	return f
+}
+
+// TransformFlag is the -transform flag: a graph-transformation mode
+// resolved through core.ParseTransform. Name keeps the raw spelling so
+// bench experiments can distinguish "unset" (run both) from an explicit
+// "none".
+type TransformFlag struct {
+	Name string
+	Mode core.TransformMode
+}
+
+func (f *TransformFlag) String() string { return f.Name }
+
+// Set parses and validates a transform mode; "" resets to unset.
+func (f *TransformFlag) Set(s string) error {
+	if s == "" {
+		*f = TransformFlag{}
+		return nil
+	}
+	m, err := core.ParseTransform(s)
+	if err != nil {
+		return err
+	}
+	f.Name, f.Mode = s, m
+	return nil
+}
+
+// TransformVar registers -transform on fs with the given default spelling
+// ("" leaves it unset). A bad default panics.
+func TransformVar(fs *flag.FlagSet, def string) *TransformFlag {
+	f := &TransformFlag{}
+	if err := f.Set(def); err != nil {
+		panic(fmt.Sprintf("cli: bad default -transform %q: %v", def, err))
+	}
+	fs.Var(f, "transform", "graph transformation: "+core.TransformNames+" (split = inner/border overlap)")
 	return f
 }
 

@@ -182,7 +182,14 @@ func BuildGraph(v Variant, cfg Config) (*ptg.Graph, error) {
 			}
 		}
 	}
-	return gb.Build()
+	g, err := gb.Build()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Transform == TransformSplit {
+		return ptg.ApplyTransforms(g, &splitPass{b: bd})
+	}
+	return g, nil
 }
 
 func taskID(ti, tj, t int) ptg.TaskID {
@@ -512,12 +519,7 @@ func (b *builder) computeBody(inf *tileInfo, t int) func(ptg.Env) {
 		rect = grid.Rect{R0: 0, C0: 0, H: inf.rows, W: inf.cols}
 	}
 	return func(e ptg.Env) {
-		var st *tileState
-		if se, ok := e.(ptg.SlotEnv); ok && inf.stateSlot >= 0 {
-			st = se.GetSlot(inf.stateSlot).(*tileState)
-		} else {
-			st = e.Get(TileKey{TI: inf.ti, TJ: inf.tj}).(*tileState)
-		}
+		st := b.state(e, inf)
 		b.consume(e, st, inf, t)
 		if nine {
 			stencil.Apply9(w9, st.next, st.cur, rect)
@@ -540,12 +542,7 @@ func (b *builder) wavefrontBody(inf *tileInfo, t int) func(ptg.Env) {
 	nine := b.cfg.NinePoint
 	regions := b.wfRegions(inf, b.effWidth(t))
 	return func(e ptg.Env) {
-		var st *tileState
-		if se, ok := e.(ptg.SlotEnv); ok && inf.stateSlot >= 0 {
-			st = se.GetSlot(inf.stateSlot).(*tileState)
-		} else {
-			st = e.Get(TileKey{TI: inf.ti, TJ: inf.tj}).(*tileState)
-		}
+		st := b.state(e, inf)
 		b.consume(e, st, inf, t)
 		var res *grid.Tile
 		if nine {
@@ -588,27 +585,43 @@ func (b *builder) produce(e ptg.Env, st *tileState, inf *tileInfo, t int) {
 // immediately recycled into the runtime arena — steady state allocates
 // nothing.
 func (b *builder) consume(e ptg.Env, st *tileState, inf *tileInfo, t int) {
-	se, slotted := e.(ptg.SlotEnv)
 	for _, d := range grid.AllDirs {
-		p := b.neighbor(inf, d)
-		if p == nil {
-			continue
-		}
-		depth, ok := b.flow(p, d.Opposite(), t-1)
-		if !ok {
-			continue
-		}
-		rc := st.cur.RecvRect(d, depth)
-		if slotted && inf.recvSlot[d].base >= 0 {
-			buf := se.TakeBufSlot(b.slotOf(inf.recvSlot[d], inf, t-1))
-			st.cur.UnpackBytes(rc, buf)
-			runtime.PutBuf(buf)
-			continue
-		}
-		key := BufKey{TI: p.ti, TJ: p.tj, Step: t - 1, Dir: d.Opposite()}
-		vals := e.Take(key).([]float64)
-		st.cur.Unpack(rc, vals)
+		b.consumeDir(e, st, inf, d, t)
 	}
+}
+
+// consumeDir takes and unpacks the single incoming flow arriving from
+// direction d for iteration t, if it exists. Split border tasks use it to
+// consume exactly the halo they are gated on; the unsplit path loops it
+// over all directions.
+func (b *builder) consumeDir(e ptg.Env, st *tileState, inf *tileInfo, d grid.Dir, t int) {
+	p := b.neighbor(inf, d)
+	if p == nil {
+		return
+	}
+	depth, ok := b.flow(p, d.Opposite(), t-1)
+	if !ok {
+		return
+	}
+	rc := st.cur.RecvRect(d, depth)
+	if se, slotted := e.(ptg.SlotEnv); slotted && inf.recvSlot[d].base >= 0 {
+		buf := se.TakeBufSlot(b.slotOf(inf.recvSlot[d], inf, t-1))
+		st.cur.UnpackBytes(rc, buf)
+		runtime.PutBuf(buf)
+		return
+	}
+	key := BufKey{TI: p.ti, TJ: p.tj, Step: t - 1, Dir: d.Opposite()}
+	vals := e.Take(key).([]float64)
+	st.cur.Unpack(rc, vals)
+}
+
+// state fetches the tile's double-buffer state: slot fast path, keyed
+// fallback.
+func (b *builder) state(e ptg.Env, inf *tileInfo) *tileState {
+	if se, ok := e.(ptg.SlotEnv); ok && inf.stateSlot >= 0 {
+		return se.GetSlot(inf.stateSlot).(*tileState)
+	}
+	return e.Get(TileKey{TI: inf.ti, TJ: inf.tj}).(*tileState)
 }
 
 // GraphStats builds the graph (cost-only) and returns its statistics;

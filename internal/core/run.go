@@ -133,7 +133,14 @@ type SimResult struct {
 	CommBusy []time.Duration
 	// Fault counts the injected fault schedule and modeled recovery work.
 	Fault fault.Stats
-	Sim   *desim.Result
+	// OverlapRatio, InteriorTasks and BorderTasks report the split
+	// transform's communication–computation overlap (see
+	// desim.Result.OverlapRatio); all zero unless Config.Transform splits
+	// the graph.
+	OverlapRatio  float64
+	InteriorTasks int
+	BorderTasks   int
+	Sim           *desim.Result
 }
 
 // BundleFill returns the mean member transfers per coalesced bundle (0
@@ -226,14 +233,17 @@ func Simulate(v Variant, cfg Config, opts SimOptions) (*SimResult, error) {
 		busy[n] = fabric.CommBusy(n)
 	}
 	return &SimResult{
-		Makespan:  res.Makespan,
-		GFLOPS:    flops / res.Makespan.Seconds() / 1e9,
-		Messages:  res.Messages,
-		BytesSent: res.BytesSent,
-		Bundles:   res.Bundles,
-		Segments:  res.Segments,
-		CommBusy:  busy,
-		Fault:     res.Fault,
-		Sim:       res,
+		Makespan:      res.Makespan,
+		GFLOPS:        flops / res.Makespan.Seconds() / 1e9,
+		Messages:      res.Messages,
+		BytesSent:     res.BytesSent,
+		Bundles:       res.Bundles,
+		Segments:      res.Segments,
+		CommBusy:      busy,
+		Fault:         res.Fault,
+		OverlapRatio:  res.OverlapRatio,
+		InteriorTasks: res.InteriorTasks,
+		BorderTasks:   res.BorderTasks,
+		Sim:           res,
 	}, nil
 }

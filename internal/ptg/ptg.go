@@ -42,10 +42,19 @@ const (
 	// (drops, duplicates, delays, retransmits, dedup, pauses); graph tasks
 	// never carry it.
 	KindFault
+	// KindInner and KindBorder label the products of the inner/border
+	// splitting transform (see Transform and core's split pass): an inner
+	// task updates the part of a tile that needs no freshly arrived halo
+	// data — it can run while messages are in flight — while a border task
+	// is the thin strip gated on one halo arrival. They appear after
+	// KindFault so trace CSVs written before the transform existed keep
+	// their kind encoding.
+	KindInner
+	KindBorder
 	NumKinds
 )
 
-var kindNames = [NumKinds]string{"init", "interior", "boundary", "comm", "fault"}
+var kindNames = [NumKinds]string{"init", "interior", "boundary", "comm", "fault", "inner", "border"}
 
 func (k Kind) String() string {
 	if k >= NumKinds {
@@ -159,6 +168,7 @@ type Graph struct {
 	NodeSlots    []int
 	NodeBufSlots []int
 	index        map[TaskID]int32
+	stats        *Stats
 }
 
 // Lookup returns the index of a task by ID.
@@ -179,18 +189,11 @@ func (g *Graph) Roots() []int32 {
 }
 
 // CrossNodeDeps counts dependencies whose producer and consumer live on
-// different nodes, and the total payload bytes they carry.
+// different nodes, and the total payload bytes they carry. It reads the
+// stats computed at Build time (see ComputeStats).
 func (g *Graph) CrossNodeDeps() (count, bytes int) {
-	for i := range g.Tasks {
-		t := &g.Tasks[i]
-		for _, d := range t.Deps {
-			if g.Tasks[d.Producer].Node != t.Node {
-				count++
-				bytes += d.Bytes
-			}
-		}
-	}
-	return count, bytes
+	s := g.ComputeStats()
+	return s.CrossDeps, s.CrossBytes
 }
 
 // Builder accumulates tasks and dependencies and validates the result.
@@ -245,6 +248,21 @@ func (b *Builder) AllocBufSlot(node int32) int32 {
 	s := int32(b.bufSlots[node])
 	b.bufSlots[node]++
 	return s
+}
+
+// PresetSlots seeds the builder's per-node slot counters from an existing
+// graph's NodeSlots/NodeBufSlots. Rewrite passes (see Transform) reuse the
+// original graph's task bodies and Pack/Unpack closures, which address
+// store slots by the indices assigned at first build; preseeding keeps
+// those indices valid in the rewritten graph while still allowing a pass
+// to allocate additional slots on top.
+func (b *Builder) PresetSlots(slots, bufSlots []int) {
+	if slots != nil {
+		b.slots = append([]int(nil), slots...)
+	}
+	if bufSlots != nil {
+		b.bufSlots = append([]int(nil), bufSlots...)
+	}
 }
 
 // AddDep records that consumer depends on producer. Cross-node dependencies
@@ -317,6 +335,9 @@ func (b *Builder) Build() (*Graph, error) {
 		NumNodes: b.numNodes, Tasks: b.tasks, index: b.index,
 		NodeSlots: b.slots, NodeBufSlots: b.bufSlots,
 	}
+	// Stats are computed eagerly so transforms cannot leave stale summaries
+	// behind: every (re)build refreshes them, and readers share the memo.
+	g.stats = g.computeStats()
 	b.tasks = nil
 	b.index = nil
 	return g, nil
@@ -333,9 +354,31 @@ type Stats struct {
 	CriticalPathTasks int
 }
 
-// ComputeStats derives summary statistics, including the length (in tasks)
-// of the longest dependency chain.
+// ComputeStats returns the graph's summary statistics, including the length
+// (in tasks) of the longest dependency chain. Stats are computed eagerly at
+// Build() and memoized; a rewrite pass that mutates a graph in place must
+// call InvalidateStats (ApplyTransforms handles this). The returned value
+// owns its KindCounts map, so callers may mutate it freely.
 func (g *Graph) ComputeStats() Stats {
+	if g.stats == nil {
+		g.stats = g.computeStats()
+	}
+	s := *g.stats
+	kc := make(map[string]int, len(s.KindCounts))
+	for k, v := range s.KindCounts {
+		kc[k] = v
+	}
+	s.KindCounts = kc
+	return s
+}
+
+// InvalidateStats drops the memoized stats so the next ComputeStats (or the
+// next Build of a derived graph) recomputes them from the task list.
+func (g *Graph) InvalidateStats() {
+	g.stats = nil
+}
+
+func (g *Graph) computeStats() *Stats {
 	s := Stats{KindCounts: make(map[string]int)}
 	perNode := make([]int, g.NumNodes)
 	depth := make([]int, len(g.Tasks))
@@ -391,5 +434,5 @@ func (g *Graph) ComputeStats() Stats {
 		s.TasksPerNodeMin = perNode[0]
 		s.TasksPerNodeMax = perNode[len(perNode)-1]
 	}
-	return s
+	return &s
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"castencil/internal/ptg"
 )
@@ -232,6 +233,9 @@ func (ex *executor) sendBundle(e ptg.Env, nd *execNode, bi int32) (segs, bytes i
 	b := &ex.bundles[bi]
 	buf := packBundle(b.lane.get(), e, ex.g.Tasks, b.members)
 	m := Message{Src: b.src, Dst: b.dst, Bundle: bi + 1, Data: buf}
+	if ex.overlapOn {
+		m.SentNanos = int64(time.Since(ex.t0))
+	}
 	ex.messages.Add(1)
 	ex.bytesSent.Add(int64(len(buf)))
 	ex.bundlesSent.Add(1)

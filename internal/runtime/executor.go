@@ -40,7 +40,14 @@ type Message struct {
 	Seq     uint64
 	Ack     bool
 	Attempt int32
-	Data    []byte
+	// SentNanos is the dispatch timestamp (nanoseconds since the run's t0),
+	// stamped only when the graph carries inner tasks from the split
+	// transform: the receiver closes the in-flight interval behind
+	// Result.OverlapRatio. Zero on other runs and on ack messages.
+	// Retransmitted copies keep the original timestamp, so a recovered
+	// message counts as in flight from its first transmission.
+	SentNanos int64
+	Data      []byte
 }
 
 // Interceptor lets tests and examples wrap message delivery (to inject
@@ -145,6 +152,15 @@ type Result struct {
 	// Fault counts injected faults and the recovery work that masked
 	// them (all zero without a fault plan / the reliable transport).
 	Fault fault.Stats
+	// Overlap observability for split graphs (all zero when the graph has
+	// no inner tasks — the instrumentation is pay-for-use). OverlapRatio
+	// is the fraction of wire in-flight time during which at least one
+	// interior (KindInner) task was executing somewhere: how much of the
+	// communication the split transform actually hid behind compute.
+	// InteriorTasks and BorderTasks count executed tasks of those kinds.
+	OverlapRatio  float64
+	InteriorTasks int
+	BorderTasks   int
 }
 
 // BundleFill returns the average number of member payloads per coalesced
@@ -232,6 +248,16 @@ type executor struct {
 
 	nodeTasks []atomic.Int64
 	nodeBusy  []atomic.Int64 // nanoseconds
+
+	// Overlap instrumentation (see overlap.go), active only when the graph
+	// carries KindInner tasks. innerIv[node*Workers+core] is owned by that
+	// worker goroutine; commIv[node] by that node's comm goroutine — both
+	// are read only after the run's WaitGroup settles.
+	overlapOn     bool
+	innerIv       [][]span
+	commIv        [][]span
+	interiorTasks atomic.Int64
+	borderTasks   atomic.Int64
 
 	completed atomic.Int64
 	total     int64
@@ -324,6 +350,16 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 	}
 	if err := ex.planBundles(); err != nil {
 		return nil, err
+	}
+	for i := range g.Tasks {
+		if g.Tasks[i].Kind == ptg.KindInner {
+			ex.overlapOn = true
+			break
+		}
+	}
+	if ex.overlapOn {
+		ex.innerIv = make([][]span, g.NumNodes*opts.Workers)
+		ex.commIv = make([][]span, g.NumNodes)
 	}
 
 	// Size inboxes and send queues so channel operations never block
@@ -502,6 +538,18 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 		res.NodeLocalHits[n] = int(ex.nodes[n].localHits.Load())
 		res.NodeSteals[n] = int(ex.nodes[n].steals.Load())
 		res.NodeParks[n] = int(ex.nodes[n].parks.Load())
+	}
+	if ex.overlapOn {
+		var comm, inner []span
+		for _, iv := range ex.commIv {
+			comm = append(comm, iv...)
+		}
+		for _, iv := range ex.innerIv {
+			inner = append(inner, iv...)
+		}
+		res.OverlapRatio = trace.OverlapRatio(comm, inner)
+		res.InteriorTasks = int(ex.interiorTasks.Load())
+		res.BorderTasks = int(ex.borderTasks.Load())
 	}
 	if err != nil {
 		// The partial result accompanies the error so callers can audit
@@ -695,6 +743,16 @@ func (ex *executor) runTask(nd *execNode, core int32, idx int32, stolen bool, re
 	end := time.Since(ex.t0)
 	completed := ex.nodeTasks[nd.id].Add(1)
 	ex.nodeBusy[nd.id].Add(int64(end - start))
+	if ex.overlapOn {
+		switch t.Kind {
+		case ptg.KindInner:
+			ex.interiorTasks.Add(1)
+			s := int(nd.id)*ex.opts.Workers + int(core)
+			ex.innerIv[s] = append(ex.innerIv[s], span{Start: int64(start), End: int64(end)})
+		case ptg.KindBorder:
+			ex.borderTasks.Add(1)
+		}
+	}
 	if ex.fplan != nil {
 		ex.notePause(nd, int(completed))
 	}
@@ -878,6 +936,9 @@ func (ex *executor) sendOne(e ptg.Env, nd *execNode, req sendReq) (segs, bytes i
 		data = dep.Pack(e)
 	}
 	m := Message{Src: nd.id, Dst: consumer.Node, Task: req.task, Dep: req.dep, Data: data}
+	if ex.overlapOn {
+		m.SentNanos = int64(time.Since(ex.t0))
+	}
 	ex.messages.Add(1)
 	ex.bytesSent.Add(int64(len(data)))
 	ex.dispatch(nd, m)
@@ -893,6 +954,9 @@ func (ex *executor) receive(nd *execNode, m Message) {
 	}
 	if ex.reliable && m.Seq != 0 && ex.dedup(nd, m) {
 		return
+	}
+	if ex.overlapOn && m.SentNanos > 0 {
+		ex.commIv[nd.id] = append(ex.commIv[nd.id], span{Start: m.SentNanos, End: int64(time.Since(ex.t0))})
 	}
 	var start time.Duration
 	if ex.traceComm {

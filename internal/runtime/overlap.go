@@ -1,0 +1,10 @@
+package runtime
+
+import "castencil/internal/trace"
+
+// span aliases the trace package's interval type: the overlap
+// instrumentation collects wire in-flight spans (stamped SentNanos at
+// dispatch, closed at receipt) and inner-task execution spans, and reports
+// trace.OverlapRatio over them as Result.OverlapRatio — the fraction of
+// communication the split transform hid behind interior compute.
+type span = trace.Span

@@ -112,7 +112,12 @@ type Spec struct {
 	Workers  int     `json:"workers,omitempty"`
 	Sched    string  `json:"sched,omitempty"`
 	Coalesce string  `json:"coalesce,omitempty"`
-	Fault    string  `json:"fault,omitempty"`
+	// Transform selects a graph-transformation pass ("none" or "split":
+	// inner/border task splitting for communication–computation overlap).
+	// Rejected at admission for the wf variant and for plan=auto (the
+	// planner may pick wf).
+	Transform string `json:"transform,omitempty"`
+	Fault     string `json:"fault,omitempty"`
 	Machine  string  `json:"machine,omitempty"` // sim + plan=auto; default NaCL
 	Ratio    float64 `json:"ratio,omitempty"`
 
@@ -212,6 +217,21 @@ func (s Spec) build() (*buildSpec, error) {
 		if b.coalesce, err = castencil.ParseCoalesce(s.Coalesce); err != nil {
 			return nil, err
 		}
+	}
+	if s.Transform != "" {
+		tm, err := castencil.ParseTransform(s.Transform)
+		if err != nil {
+			return nil, err
+		}
+		if tm != castencil.TransformNone {
+			if b.variant == castencil.WF {
+				return nil, fmt.Errorf("server: spec rejected: transform %q is not supported with the wf variant", s.Transform)
+			}
+			if b.planAuto {
+				return nil, fmt.Errorf("server: spec rejected: transform %q cannot combine with plan=auto (the planner may pick wf)", s.Transform)
+			}
+		}
+		b.cfg.Transform = tm
 	}
 	if b.fault, err = castencil.ParseFaultPlan(s.Fault); err != nil {
 		return nil, err

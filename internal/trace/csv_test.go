@@ -166,3 +166,33 @@ func TestCSVRoundTripCommEvent(t *testing.T) {
 		t.Errorf("round-tripped comm event = %+v", g)
 	}
 }
+
+// TestCSVRoundTripSplitKinds checks the split transform's task kinds —
+// KindInner (5) and KindBorder (6), appended after KindFault so older
+// numeric kind values keep their meaning — survive a write/read cycle and
+// render with their own Gantt glyphs.
+func TestCSVRoundTripSplitKinds(t *testing.T) {
+	tr := New()
+	tr.Record(ev(0, 0, ptg.KindInner, 0, 8))
+	tr.Record(ev(0, 1, ptg.KindBorder, 2, 4))
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := got.Events()
+	if len(events) != 2 || events[0].Kind != ptg.KindInner || events[1].Kind != ptg.KindBorder {
+		t.Fatalf("split kinds lost in round trip: %+v", events)
+	}
+	if int(ptg.KindInner) != 5 || int(ptg.KindBorder) != 6 {
+		t.Fatalf("split kind codes moved: inner=%d border=%d (CSV back-compat requires 5, 6)",
+			int(ptg.KindInner), int(ptg.KindBorder))
+	}
+	chart := Gantt(events, 2, GanttConfig{Width: 20})
+	if !strings.Contains(chart, ",") || !strings.Contains(chart, "b") {
+		t.Errorf("Gantt chart missing split glyphs:\n%s", chart)
+	}
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"sort"
+
+	"castencil/internal/ptg"
+)
+
+// Span is a half-open time interval in nanoseconds (relative to a run's
+// origin). The overlap instrumentation of both engines collects two span
+// families — wire messages in flight and inner (halo-independent) tasks
+// executing — and reports their intersection over the in-flight union as
+// the run's OverlapRatio: the fraction of communication hidden behind
+// interior compute by the split transform.
+type Span struct{ Start, End int64 }
+
+// MergeSpans sorts spans and coalesces overlapping/adjacent ones into a
+// disjoint union, in place.
+func MergeSpans(sp []Span) []Span {
+	if len(sp) < 2 {
+		return sp
+	}
+	sort.Slice(sp, func(i, j int) bool { return sp[i].Start < sp[j].Start })
+	out := sp[:1]
+	for _, v := range sp[1:] {
+		last := &out[len(out)-1]
+		if v.Start <= last.End {
+			if v.End > last.End {
+				last.End = v.End
+			}
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// SpanTotal sums the lengths of a disjoint span list.
+func SpanTotal(sp []Span) int64 {
+	var t int64
+	for _, v := range sp {
+		t += v.End - v.Start
+	}
+	return t
+}
+
+// IntersectTotal returns the summed overlap between two disjoint, sorted
+// span lists.
+func IntersectTotal(a, b []Span) int64 {
+	var t int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		s := a[i].Start
+		if b[j].Start > s {
+			s = b[j].Start
+		}
+		e := a[i].End
+		if b[j].End < e {
+			e = b[j].End
+		}
+		if e > s {
+			t += e - s
+		}
+		if a[i].End < b[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return t
+}
+
+// OverlapRatio computes |comm ∩ exec| / |comm| over the unions of the two
+// span families; 0 when comm is empty. Both arguments are consumed (sorted
+// and merged in place).
+func OverlapRatio(comm, exec []Span) float64 {
+	comm = MergeSpans(comm)
+	inflight := SpanTotal(comm)
+	if inflight == 0 {
+		return 0
+	}
+	exec = MergeSpans(exec)
+	return float64(IntersectTotal(comm, exec)) / float64(inflight)
+}
+
+// OverlapStats derives an event-level overlap summary from a trace: comm
+// activity (KindComm send/recv handling windows) versus inner-task
+// execution windows. It returns the total comm-active time and the part of
+// it during which an inner task was running. Note the real engine's
+// KindComm events time the comm goroutine's handling of a message, not the
+// wire flight itself — the engines' Result.OverlapRatio measures the wire;
+// this is the trace-replayable approximation traceview reports.
+func OverlapStats(events []Event) (commActive, overlapped int64) {
+	var comm, inner []Span
+	for i := range events {
+		e := &events[i]
+		sp := Span{Start: int64(e.Start), End: int64(e.End)}
+		switch e.Kind {
+		case ptg.KindComm:
+			comm = append(comm, sp)
+		case ptg.KindInner:
+			inner = append(inner, sp)
+		}
+	}
+	comm = MergeSpans(comm)
+	inner = MergeSpans(inner)
+	return SpanTotal(comm), IntersectTotal(comm, inner)
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"testing"
+
+	"castencil/internal/ptg"
+)
+
+func TestMergeSpans(t *testing.T) {
+	got := MergeSpans([]Span{{5, 9}, {0, 3}, {2, 4}, {9, 12}, {20, 21}})
+	want := []Span{{0, 4}, {5, 12}, {20, 21}}
+	if len(got) != len(want) {
+		t.Fatalf("merged to %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged to %v, want %v", got, want)
+		}
+	}
+	if total := SpanTotal(got); total != 12 {
+		t.Errorf("SpanTotal = %d, want 12", total)
+	}
+}
+
+func TestIntersectTotal(t *testing.T) {
+	a := []Span{{0, 10}, {20, 30}}
+	b := []Span{{5, 25}}
+	if got := IntersectTotal(a, b); got != 10 {
+		t.Errorf("IntersectTotal = %d, want 10 (5 from each span)", got)
+	}
+	if got := IntersectTotal(a, nil); got != 0 {
+		t.Errorf("IntersectTotal with empty = %d, want 0", got)
+	}
+}
+
+func TestOverlapRatio(t *testing.T) {
+	// Comm in flight [0,10); inner exec [4,8): 40% hidden.
+	if r := OverlapRatio([]Span{{0, 10}}, []Span{{4, 8}}); r != 0.4 {
+		t.Errorf("ratio = %v, want 0.4", r)
+	}
+	if r := OverlapRatio(nil, []Span{{0, 5}}); r != 0 {
+		t.Errorf("ratio with no comm = %v, want 0", r)
+	}
+	// Unsorted, overlapping inputs are normalized internally.
+	if r := OverlapRatio([]Span{{5, 10}, {0, 6}}, []Span{{0, 10}, {2, 3}}); r != 1 {
+		t.Errorf("fully covered ratio = %v, want 1", r)
+	}
+}
+
+// TestOverlapStats checks the event-level summary traceview reports: comm
+// handling windows intersected with inner-task execution windows.
+func TestOverlapStats(t *testing.T) {
+	events := []Event{
+		ev(0, 2, ptg.KindComm, 0, 10),
+		ev(0, 0, ptg.KindInner, 4, 12),
+		ev(0, 1, ptg.KindInterior, 0, 10), // commit-class work must not count
+		ev(0, 2, ptg.KindComm, 20, 24),
+	}
+	commActive, overlapped := OverlapStats(events)
+	if commActive != int64(14e6) {
+		t.Errorf("commActive = %d, want 14ms", commActive)
+	}
+	if overlapped != int64(6e6) {
+		t.Errorf("overlapped = %d, want 6ms (comm [0,10) vs inner [4,12))", overlapped)
+	}
+	if ca, ov := OverlapStats(nil); ca != 0 || ov != 0 {
+		t.Errorf("empty trace: %d/%d, want 0/0", ca, ov)
+	}
+}

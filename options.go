@@ -108,6 +108,10 @@ type RunOptions struct {
 	// Wavefront, when positive, overrides Config.Wavefront — the WF block
 	// width — for either engine (ignored by the other variants).
 	Wavefront int
+	// Transform, when not TransformNone, overrides Config.Transform — the
+	// graph-transformation pass applied before execution — for either
+	// engine.
+	Transform TransformMode
 	// Ctx bounds the run on either engine: a cancelled or deadline-exceeded
 	// context stops workers and communication goroutines promptly (task
 	// granularity) and the run returns a *CancelError wrapping the context
@@ -189,6 +193,13 @@ func WithRatio(r float64) Option { return func(o *RunOptions) { o.Ratio = r } }
 // depth and exchange period — overriding Config.Wavefront on either engine.
 func WithWavefront(w int) Option { return func(o *RunOptions) { o.Wavefront = w } }
 
+// WithTransform applies a graph-transformation pass (TransformSplit =
+// inner/border task splitting for communication–computation overlap) to
+// the built graph before execution, overriding Config.Transform on either
+// engine. Transforms never change numerics — results stay bitwise
+// identical to the untransformed graph.
+func WithTransform(m TransformMode) Option { return func(o *RunOptions) { o.Transform = m } }
+
 // WithContext bounds the run with ctx on either engine: cancellation or a
 // deadline stops the run promptly (nothing new starts, communication
 // drains) and Run/Sim return a *CancelError that wraps the context error —
@@ -264,6 +275,9 @@ func Run(v Variant, cfg Config, opts ...Option) (*RealResult, error) {
 	if o.Wavefront > 0 {
 		cfg.Wavefront = o.Wavefront
 	}
+	if o.Transform != core.TransformNone {
+		cfg.Transform = o.Transform
+	}
 	return core.RunReal(v, cfg, o.real())
 }
 
@@ -276,6 +290,9 @@ func Sim(v Variant, cfg Config, opts ...Option) (*SimResult, error) {
 	}
 	if o.Wavefront > 0 {
 		cfg.Wavefront = o.Wavefront
+	}
+	if o.Transform != core.TransformNone {
+		cfg.Transform = o.Transform
 	}
 	return core.Simulate(v, cfg, o.sim())
 }
