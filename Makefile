@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-sched bench-comm bench-fault bench-serve bench-tb bench-overlap serve check
+.PHONY: all build vet test race bench-smoke bench bench-sched bench-comm bench-fault bench-serve bench-tb bench-overlap bench-lanes serve check
 
 all: check
 
@@ -74,6 +74,15 @@ bench-overlap:
 		-benchtime 1x -benchmem \
 		./internal/core/
 	$(GO) run ./cmd/stencilbench -exp overlap -quick
+
+# Distributed-transport ablation behind BENCH_8.json: persistent lanes vs
+# per-message connections on a 2-rank loopback mesh, plus the zero-alloc
+# lane round-trip microbenchmark.
+bench-lanes:
+	$(GO) test -run '^$$' -bench 'LaneRoundTrip' \
+		-benchtime 100x -benchmem \
+		./internal/netcomm/
+	$(GO) run ./cmd/stencilbench -exp lanes -quick
 
 # Run the stencil-as-a-service daemon locally.
 serve:

@@ -7,6 +7,13 @@
 //
 //	stencild -listen :8421 -maxjobs 2 -queue 64
 //
+//	# two-process distributed deployment: the -ranks list is the mesh
+//	# (netcomm) address of every rank, distinct from the HTTP -listen
+//	# address; distributed jobs (spec field "ranks") go to rank 0
+//	stencild -listen :8421 -rank 0 -ranks 127.0.0.1:9421,127.0.0.1:9422 &
+//	stencild -listen :8422 -rank 1 -ranks 127.0.0.1:9421,127.0.0.1:9422 &
+//	curl -s localhost:8421/v1/jobs -d '{"n":240,"tile":24,"steps":50,"ranks":2}'
+//
 //	# submit a job (fields mirror the library's functional options)
 //	curl -s localhost:8421/v1/jobs -d '{"n":1440,"tile":36,"steps":100,"step_size":15,"seed":7}'
 //
@@ -38,7 +45,9 @@ import (
 	"syscall"
 	"time"
 
+	castencil "castencil"
 	"castencil/internal/cli"
+	"castencil/internal/metrics"
 	"castencil/internal/server"
 )
 
@@ -49,14 +58,52 @@ func main() {
 	budget := flag.Int("workers", 0, "total worker budget divided across running jobs (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "default per-job deadline (0 = none; jobs may set timeout_ms)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window before cancelling jobs")
+	rankFlag := cli.RankVar(flag.CommandLine)
+	ranksFlag := cli.RanksVar(flag.CommandLine)
 	flag.Parse()
+
+	rank, rankAddrs, distributed, err := cli.ResolveRanks(rankFlag, ranksFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stencild:", err)
+		os.Exit(1)
+	}
+
+	// The mesh connects before HTTP comes up: a distributed daemon that
+	// cannot reach its peers should fail (or block) at startup, not at the
+	// first job. The shared registry makes the transport's stencild_net_*
+	// families appear on the same /metrics page as the job counters.
+	reg := metrics.NewRegistry()
+	var transport *castencil.NetTransport
+	if distributed {
+		log.Printf("stencild: rank %d/%d connecting mesh %v", rank, len(rankAddrs), rankAddrs)
+		t, err := castencil.NetConnect(rank, rankAddrs, castencil.NetOptions{Metrics: reg})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stencild: mesh:", err)
+			os.Exit(1)
+		}
+		defer t.Close()
+		transport = t
+		log.Printf("stencild: mesh up (%d ranks)", len(rankAddrs))
+	}
 
 	mgr := server.New(server.Config{
 		MaxJobs:        maxJobs.N,
 		QueueSize:      queue.N,
 		WorkerBudget:   *budget,
 		DefaultTimeout: *timeout,
+		Registry:       reg,
+		Transport:      transport,
 	})
+
+	folCtx, folCancel := context.WithCancel(context.Background())
+	defer folCancel()
+	if distributed && rank != 0 {
+		go func() {
+			if err := mgr.RunFollower(folCtx, transport); err != nil && !errors.Is(err, context.Canceled) {
+				log.Printf("stencild: follower loop: %v", err)
+			}
+		}()
+	}
 	srv := &http.Server{Addr: listen.Addr, Handler: server.Handler(mgr)}
 
 	errCh := make(chan error, 1)

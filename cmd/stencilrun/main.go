@@ -42,12 +42,22 @@ func main() {
 	coalesceFlag := cli.CoalesceVar(flag.CommandLine, "off")
 	transformFlag := cli.TransformVar(flag.CommandLine, "none")
 	faultFlag := cli.FaultVar(flag.CommandLine)
+	rankFlag := cli.RankVar(flag.CommandLine)
+	ranksFlag := cli.RanksVar(flag.CommandLine)
 	verify := flag.Bool("verify", false, "real engine: compare against the sequential oracle")
 	traceOut := flag.String("trace", "", "write a CSV trace to this file (sim: node 0; real: all nodes)")
 	planMode := flag.Bool("plan", false, "run the automatic step-size planner instead of a single config")
 	autoPlan := flag.Bool("autoplan", false, "plan first, then execute the recommended configuration (overrides -impl/-stepsize)")
 	dotOut := flag.String("dot", "", "write the task graph in Graphviz DOT format to this file and exit (small configs only)")
 	flag.Parse()
+
+	rank, rankAddrs, distributed, err := cli.ResolveRanks(rankFlag, ranksFlag)
+	if err != nil {
+		fail(err)
+	}
+	if distributed && *engine != "real" {
+		fail(fmt.Errorf("-ranks needs -engine real (the simulator is single-process)"))
+	}
 
 	p := 1
 	for p*p < *nodes {
@@ -196,6 +206,9 @@ func main() {
 			castencil.WithCoalesce(coalesceFlag.Mode),
 			castencil.WithFaultPlan(faultFlag.Plan),
 		}
+		if distributed {
+			opts = append(opts, castencil.WithRanks(rank, rankAddrs))
+		}
 		var tr *castencil.Trace
 		if *traceOut != "" {
 			tr = castencil.NewTrace()
@@ -206,8 +219,21 @@ func main() {
 			reportFault(err)
 			fail(err)
 		}
+		if distributed && rank != 0 {
+			// Followers hold no grid and only their local counter slice;
+			// rank 0 prints the run's global view.
+			fmt.Printf("%s rank %d/%d done: elapsed %v, local %d messages, %.1f MB sent\n",
+				variant, rank, len(rankAddrs), res.Exec.Elapsed, res.Exec.Messages, float64(res.Exec.BytesSent)/1e6)
+			if tr != nil {
+				writeTrace(tr, *traceOut, "trace")
+			}
+			return
+		}
 		fmt.Printf("%s real run (%s): %d nodes x %d workers, elapsed %v, %d messages, %.1f MB sent\n",
 			variant, schedFlag.Sched, *nodes, *workers, res.Exec.Elapsed, res.Exec.Messages, float64(res.Exec.BytesSent)/1e6)
+		if distributed {
+			fmt.Printf("  distributed: %d ranks, grid sha256 %s\n", len(rankAddrs), castencil.GridSHA256(res.Grid))
+		}
 		if res.Exec.BundlesSent > 0 {
 			fmt.Printf("  coalescing (%s): %d bundles carrying %d transfers, fill %.1f\n",
 				coalesceFlag.Mode, res.Exec.BundlesSent, res.Exec.BundleSegments, res.Exec.BundleFill())

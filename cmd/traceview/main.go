@@ -50,6 +50,26 @@ func main() {
 		cf.Close()
 		fmt.Printf("chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *chrome)
 	}
+	// A distributed trace carries the TCP transport's wire:send/wire:recv
+	// events keyed by rank; ranks alias low node numbers, so the wire
+	// family is split out before any per-node statistics and rendered as
+	// its own utilization block.
+	rest, wire := trace.SplitWire(tr.Events())
+	span := tr.Makespan()
+	if len(wire) > 0 {
+		ft := trace.New()
+		for _, e := range rest {
+			ft.Record(e)
+		}
+		tr = ft
+		fmt.Println("== wire: distributed transport, per-rank socket activity ==")
+		for _, ws := range trace.SummarizeWire(wire, span) {
+			fmt.Printf("  rank %d  %5d sends  %5d recvs  %9d bytes  busy %-10v  util %3.0f%%\n",
+				ws.Rank, ws.Sends, ws.Recvs, ws.Bytes, ws.Busy.Round(time.Microsecond), 100*ws.Util)
+		}
+		fmt.Println()
+	}
+
 	cores, nodes := tr.MaxCore()
 	for _, nd := range nodes {
 		if *node >= 0 && int32(*node) != nd {

@@ -222,6 +222,95 @@ func ListenVar(fs *flag.FlagSet, def string) *ListenFlag {
 	return f
 }
 
+// RanksFlag is the -ranks flag: the static member list of a multi-process
+// distributed run — comma-separated host:port addresses, one per rank, the
+// identical list passed to every process. Each address is validated with
+// the -listen rules at parse time. Empty (the default) means no
+// distribution.
+type RanksFlag struct {
+	Addrs []string
+	raw   string
+}
+
+func (f *RanksFlag) String() string { return f.raw }
+
+func (f *RanksFlag) Set(s string) error {
+	if s == "" {
+		*f = RanksFlag{}
+		return nil
+	}
+	var addrs []string
+	for start := 0; start <= len(s); {
+		end := start
+		for end < len(s) && s[end] != ',' {
+			end++
+		}
+		addr := s[start:end]
+		var probe ListenFlag
+		if err := probe.Set(addr); err != nil {
+			return fmt.Errorf("rank %d: %v", len(addrs), err)
+		}
+		addrs = append(addrs, addr)
+		start = end + 1
+	}
+	if len(addrs) < 2 {
+		return fmt.Errorf("-ranks needs at least 2 addresses, got %d", len(addrs))
+	}
+	f.Addrs, f.raw = addrs, s
+	return nil
+}
+
+// RanksVar registers -ranks on fs (default: unset, single-process).
+func RanksVar(fs *flag.FlagSet) *RanksFlag {
+	f := &RanksFlag{}
+	fs.Var(f, "ranks", "distributed member list: comma-separated host:port, one per rank (empty = single process)")
+	return f
+}
+
+// RankFlag is the -rank flag: this process's index into the -ranks list.
+// Bounds against the list length are checked by the caller once both flags
+// are parsed; here only non-negativity is enforced.
+type RankFlag struct {
+	N int
+}
+
+func (f *RankFlag) String() string { return strconv.Itoa(f.N) }
+
+func (f *RankFlag) Set(s string) error {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return fmt.Errorf("-rank %q: %v", s, err)
+	}
+	if n < 0 {
+		return fmt.Errorf("-rank must be >= 0, got %d", n)
+	}
+	f.N = n
+	return nil
+}
+
+// RankVar registers -rank on fs (default 0).
+func RankVar(fs *flag.FlagSet) *RankFlag {
+	f := &RankFlag{}
+	fs.Var(f, "rank", "this process's rank in the -ranks list")
+	return f
+}
+
+// ResolveRanks cross-validates the -rank/-ranks pair after parsing: with
+// -ranks set it returns (rank, addrs, true) and errors on an out-of-range
+// rank; unset returns ok=false (single-process).
+func ResolveRanks(rank *RankFlag, ranks *RanksFlag) (int, []string, bool, error) {
+	if len(ranks.Addrs) == 0 {
+		if rank.N != 0 {
+			return 0, nil, false, fmt.Errorf("-rank %d without -ranks", rank.N)
+		}
+		return 0, nil, false, nil
+	}
+	if rank.N >= len(ranks.Addrs) {
+		return 0, nil, false, fmt.Errorf("-rank %d out of range for %d ranks", rank.N, len(ranks.Addrs))
+	}
+	return rank.N, ranks.Addrs, true, nil
+}
+
 // PosIntFlag is a strictly positive integer flag (daemon sizing knobs:
 // -maxjobs, -queue). Zero or negative values fail at parse time.
 type PosIntFlag struct {

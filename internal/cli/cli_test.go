@@ -134,3 +134,58 @@ func TestPosIntFlags(t *testing.T) {
 		}
 	}
 }
+
+func TestRanksFlags(t *testing.T) {
+	fs := newSet(t)
+	rank := RankVar(fs)
+	ranks := RanksVar(fs)
+	if err := fs.Parse([]string{"-rank", "1", "-ranks", "127.0.0.1:9000,127.0.0.1:9001"}); err != nil {
+		t.Fatal(err)
+	}
+	r, addrs, ok, err := ResolveRanks(rank, ranks)
+	if err != nil || !ok {
+		t.Fatalf("ResolveRanks: %v ok=%v", err, ok)
+	}
+	if r != 1 || len(addrs) != 2 || addrs[0] != "127.0.0.1:9000" || addrs[1] != "127.0.0.1:9001" {
+		t.Fatalf("resolved rank %d addrs %v", r, addrs)
+	}
+	for _, bad := range []string{
+		"127.0.0.1:9000",                // one rank is not distributed
+		"127.0.0.1:9000,no-port",        // member without a port
+		"127.0.0.1:9000,,127.0.0.1:901", // empty member
+		"",                              // -ranks= explicit empty stays unset, but rank 1 then errors in resolve
+	} {
+		fs2 := newSet(t)
+		ranks2 := RanksVar(fs2)
+		if err := fs2.Parse([]string{"-ranks", bad}); bad != "" && err == nil {
+			t.Errorf("bad -ranks %q accepted", bad)
+		}
+		_ = ranks2
+	}
+	// -rank without -ranks is an error at resolve time.
+	fs3 := newSet(t)
+	rank3 := RankVar(fs3)
+	ranks3 := RanksVar(fs3)
+	if err := fs3.Parse([]string{"-rank", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ResolveRanks(rank3, ranks3); err == nil {
+		t.Error("-rank without -ranks accepted")
+	}
+	// Out-of-range rank.
+	fs4 := newSet(t)
+	rank4 := RankVar(fs4)
+	ranks4 := RanksVar(fs4)
+	if err := fs4.Parse([]string{"-rank", "2", "-ranks", "127.0.0.1:9000,127.0.0.1:9001"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ResolveRanks(rank4, ranks4); err == nil {
+		t.Error("out-of-range -rank accepted")
+	}
+	// Negative rank fails at parse time.
+	fs5 := newSet(t)
+	RankVar(fs5)
+	if err := fs5.Parse([]string{"-rank", "-1"}); err == nil {
+		t.Error("negative -rank accepted")
+	}
+}

@@ -20,7 +20,8 @@ import (
 // RealResult is the outcome of a real (numerically exact) execution.
 type RealResult struct {
 	// Grid holds the final iterate over the whole domain, gathered from
-	// all node stores.
+	// all node stores. In a distributed run only rank 0 materializes it;
+	// on other ranks Grid is nil.
 	Grid      *grid.Tile
 	Partition *grid.Partition
 	Exec      *runtime.Result
@@ -39,11 +40,21 @@ func RunReal(v Variant, cfg Config, opts runtime.Options) (*RealResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Dist != nil {
+		// Open the run's epoch before anything touches the wire: the
+		// runtime's barriers and the tiles gather below all ride in it.
+		opts.Dist.Net.Begin()
+	}
 	res, err := runtime.Run(g, opts)
 	if err != nil {
 		return nil, err
 	}
-	full, err := Gather(part, res.Stores)
+	var full *grid.Tile
+	if opts.Dist != nil {
+		full, err = gatherDistributed(part, res.Stores, opts.Dist)
+	} else {
+		full, err = Gather(part, res.Stores)
+	}
 	if err != nil {
 		return nil, err
 	}

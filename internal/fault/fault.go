@@ -400,9 +400,19 @@ type Report struct {
 	Deadline time.Duration
 	// Stats snapshots the run's fault counters at failure time.
 	Stats Stats
+	// PeerLost marks a transport-level failure of a distributed run: the
+	// connection to rank DeadRank stayed down past the recovery deadline
+	// (the message fields above are zero — no single message is to blame,
+	// the peer process is gone).
+	PeerLost bool
+	DeadRank int
 }
 
 func (r *Report) Error() string {
+	if r.PeerLost {
+		return fmt.Sprintf("fault: rank %d lost: connection down past deadline %v (waited %v); %v",
+			r.DeadRank, r.Deadline, r.Waited.Round(time.Millisecond), r.Stats)
+	}
 	return fmt.Sprintf("fault: node %d unresponsive: %v unacked after %v (%d attempts, deadline %v); %v",
 		r.ID.Dst, r.ID, r.Waited.Round(time.Millisecond), r.Attempts, r.Deadline, r.Stats)
 }

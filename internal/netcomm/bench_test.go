@@ -1,0 +1,32 @@
+package netcomm
+
+import (
+	"testing"
+
+	"castencil/internal/runtime"
+)
+
+func BenchmarkLaneRoundTrip(b *testing.B) {
+	ts := newMesh(b, 2, nil)
+	for _, tr := range ts {
+		tr.Begin()
+	}
+	got0, _ := bindSink(b, ts[0], 2)
+	got1, _ := bindSink(b, ts[1], 2)
+	const payloadLen = 512
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := runtime.GetBuf(payloadLen)
+		ts[0].Send(runtime.Message{Src: 0, Dst: 1, Task: 1, Data: out})
+		runtime.PutBuf(out)
+		in := <-got1
+		echo := runtime.GetBuf(payloadLen)
+		copy(echo, in.Data)
+		runtime.PutBuf(in.Data)
+		ts[1].Send(runtime.Message{Src: 1, Dst: 0, Task: 2, Data: echo})
+		runtime.PutBuf(echo)
+		back := <-got0
+		runtime.PutBuf(back.Data)
+	}
+}

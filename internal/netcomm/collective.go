@@ -1,0 +1,125 @@
+package netcomm
+
+import "sync"
+
+// collectives is the rendezvous state of the control plane: barrier markers
+// and gather payloads that arrived but have not been consumed yet, keyed by
+// (epoch, op, tag, sender). Frames may arrive before the local rank reaches
+// the matching collective call (or even before it reaches the epoch — a fast
+// peer can enter run N+1's start barrier while we are still in run N's
+// epilogue), so deposits for the current or any future epoch are queued;
+// only strictly stale epochs are discarded.
+type collectives struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items map[colKey][][]byte
+	// dead poisons a single epoch (a peer's abort): pending and future take
+	// calls for that epoch fail with the cause. fatalOnce poisons the whole
+	// transport (peer dead, Close).
+	dead      map[uint32]error
+	fatalOnce error
+	cur       uint32
+}
+
+type colKey struct {
+	epoch uint32
+	op    byte
+	tag   string
+	from  int
+}
+
+func newCollectives() *collectives {
+	c := &collectives{
+		items: make(map[colKey][][]byte),
+		dead:  make(map[uint32]error),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// deposit queues an arrived control payload (reader goroutine side).
+func (c *collectives) deposit(epoch uint32, op byte, tag string, from int, payload []byte) {
+	c.mu.Lock()
+	if epoch < c.cur {
+		c.mu.Unlock()
+		return
+	}
+	k := colKey{epoch: epoch, op: op, tag: tag, from: from}
+	c.items[k] = append(c.items[k], payload)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// take blocks until the matching payload arrives, the epoch is poisoned, or
+// the transport dies.
+func (c *collectives) take(epoch uint32, op byte, tag string, from int) ([]byte, error) {
+	k := colKey{epoch: epoch, op: op, tag: tag, from: from}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.fatalOnce != nil {
+			return nil, c.fatalOnce
+		}
+		if err := c.dead[epoch]; err != nil {
+			return nil, err
+		}
+		if q := c.items[k]; len(q) > 0 {
+			p := q[0]
+			if len(q) == 1 {
+				delete(c.items, k)
+			} else {
+				c.items[k] = q[1:]
+			}
+			return p, nil
+		}
+		c.cond.Wait()
+	}
+}
+
+// abort poisons one epoch (current or future; stale aborts are ignored). A
+// future-epoch abort stays queued in dead until that epoch's begin — this is
+// how a peer that failed run N+1's start barrier reaches a rank still
+// finishing run N without corrupting it.
+func (c *collectives) abort(epoch uint32, err error) {
+	c.mu.Lock()
+	if epoch >= c.cur && c.dead[epoch] == nil {
+		c.dead[epoch] = err
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+// fatal poisons the transport permanently (peer dead, Close).
+func (c *collectives) fatal(err error) {
+	c.mu.Lock()
+	if c.fatalOnce == nil {
+		c.fatalOnce = err
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+// fatalErr reports the permanent poison, if any.
+func (c *collectives) fatalErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fatalOnce
+}
+
+// begin advances to a new epoch and prunes everything older.
+func (c *collectives) begin(epoch uint32) {
+	c.mu.Lock()
+	c.cur = epoch
+	for k := range c.items {
+		if k.epoch < epoch {
+			delete(c.items, k)
+		}
+	}
+	for e := range c.dead {
+		if e < epoch {
+			delete(c.dead, e)
+		}
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}

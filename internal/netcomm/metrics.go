@@ -1,0 +1,44 @@
+package netcomm
+
+import "castencil/internal/metrics"
+
+// netMetrics holds the stencild_net_* metric families a transport exports
+// when constructed with Options.Metrics. The counters are plain atomics
+// under the hood, so the hot path pays two atomic adds per frame and no
+// allocation; the ack RTT histogram additionally keeps a per-lane map of
+// in-flight sequenced sends (see lane.go), which is why the whole family is
+// opt-in.
+type netMetrics struct {
+	framesSent *metrics.Counter
+	framesRecv *metrics.Counter
+	bytesSent  *metrics.Counter
+	bytesRecv  *metrics.Counter
+	reconnects *metrics.Counter
+	ackRTT     *metrics.Histogram
+}
+
+func newNetMetrics(r *metrics.Registry, t *Transport) *netMetrics {
+	nm := &netMetrics{
+		framesSent: r.Counter("stencild_net_frames_total",
+			"Wire frames moved by the distributed transport.",
+			metrics.Labels{"dir": "sent"}),
+		framesRecv: r.Counter("stencild_net_frames_total",
+			"Wire frames moved by the distributed transport.",
+			metrics.Labels{"dir": "recv"}),
+		bytesSent: r.Counter("stencild_net_bytes_total",
+			"Wire bytes moved by the distributed transport (frame headers included).",
+			metrics.Labels{"dir": "sent"}),
+		bytesRecv: r.Counter("stencild_net_bytes_total",
+			"Wire bytes moved by the distributed transport (frame headers included).",
+			metrics.Labels{"dir": "recv"}),
+		reconnects: r.Counter("stencild_net_reconnects_total",
+			"Lane connections dropped and re-established.", nil),
+		ackRTT: r.Histogram("stencild_net_ack_rtt_seconds",
+			"Round-trip time from a reliable data frame's send to its ack.",
+			nil, nil),
+	}
+	r.GaugeFunc("stencild_net_ranks_connected",
+		"Ranks currently reachable, self included.", nil,
+		func() int64 { up, _ := t.Connected(); return int64(up) })
+	return nm
+}

@@ -1,0 +1,282 @@
+package runtime
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"castencil/internal/fault"
+)
+
+// This file is the runtime's multi-process distribution layer. A distributed
+// run places each virtual node on exactly one OS process (a *rank*): every
+// rank builds the identical graph from the identical configuration, runs
+// workers and a communication goroutine only for the nodes it owns, and
+// routes messages whose destination node lives elsewhere through a Conduit —
+// the wire transport (internal/netcomm implements it over TCP). Message
+// accounting is unchanged: every inter-node message counts exactly as in a
+// single-process run, so after the epilogue's stats exchange rank 0's Result
+// carries the same Messages/BytesSent/Bundles/Segments a single-process run
+// (and the virtual-time simulator) reports.
+//
+// Lifecycle of a distributed run, per rank:
+//
+//  1. Bind the conduit (inbound wire messages feed ex.deliver, transport
+//     failures feed ex.fail) and enter the "start" barrier, so every rank's
+//     lanes are up before epoch 0 seeds its roots.
+//  2. Run the local slice of the graph. ex.deliver routes by destination
+//     node: local nodes go to their inbox, remote nodes onto the wire. Acks
+//     of the reliable transport are ordinary messages and route the same
+//     way, so retransmit/dedup work identically over sockets.
+//  3. On local completion, drain: wait until every locally-tracked reliable
+//     message is acknowledged, then enter the "drain" barrier. Lanes are
+//     FIFO, so a peer that passed the barrier has already received every
+//     data frame this rank sent — no straggler can leak into a later run.
+//  4. Exchange counters: every rank gathers its Result counters to rank 0,
+//     which folds them into its own so the distributed totals match the
+//     single-process run exactly.
+//
+// A failed run (task panic, context cancel, recovery deadline) broadcasts an
+// abort instead of the drain barrier; peers fail their runs with the same
+// cause instead of hanging on data that will never come.
+
+// Conduit is the wire transport of a distributed run. internal/netcomm
+// implements it over TCP; tests may substitute their own. All methods are
+// safe for concurrent use. Send is called from compute/communication
+// goroutines and must not retain m.Data past its return (the runtime
+// recycles the buffer immediately).
+type Conduit interface {
+	// Rank and Ranks report this process's position in the static member
+	// list.
+	Rank() int
+	Ranks() int
+	// Begin opens a new run epoch: collective state from previous runs (or
+	// their aborts) is discarded. Every rank must call Begin the same number
+	// of times in the same global order — runs over one conduit are
+	// serialized by construction.
+	Begin()
+	// Bind attaches a run: inbound data messages feed deliver, transport
+	// failures (a peer dead past the recovery deadline) feed fail. One run
+	// may be bound at a time.
+	Bind(numNodes int, deliver func(Message), fail func(error)) error
+	// Unbind detaches the bound run.
+	Unbind()
+	// Send ships a message to the rank owning m.Dst.
+	Send(m Message) error
+	// Barrier blocks until every rank has entered the barrier with the same
+	// tag in the current epoch.
+	Barrier(tag string) error
+	// Gather sends payload to rank 0 and blocks until rank 0 has collected
+	// one payload from every rank. On rank 0 it returns the payloads indexed
+	// by rank (its own included); on other ranks it returns nil after rank 0
+	// acknowledged the collection.
+	Gather(tag string, payload []byte) ([][]byte, error)
+	// Abort broadcasts a failure to all peers: their pending and future
+	// collective calls in this epoch fail, and their bound run (if any) is
+	// failed with the abort as cause.
+	Abort(reason string)
+}
+
+// Dist configures a distributed execution: this process's rank, the total
+// rank count, and the established transport. Options.Dist == nil (the
+// default) is the classic single-process run.
+type Dist struct {
+	Rank  int
+	Ranks int
+	Net   Conduit
+}
+
+// RankOfNode is the static node-placement function shared by every rank (and
+// by internal/netcomm for routing): virtual nodes are dealt to ranks in
+// contiguous blocks of ceil(nodes/ranks). Deterministic placement is what
+// lets every rank build the same graph and agree on ownership without any
+// exchange.
+func RankOfNode(node, nodes, ranks int) int {
+	if ranks <= 1 || nodes <= 0 {
+		return 0
+	}
+	block := (nodes + ranks - 1) / ranks
+	r := node / block
+	if r >= ranks {
+		r = ranks - 1
+	}
+	return r
+}
+
+// validateDist sanity-checks a Dist against the graph before the run starts.
+func validateDist(d *Dist, numNodes int) error {
+	if d.Net == nil {
+		return fmt.Errorf("runtime: Dist.Net is required for a distributed run")
+	}
+	if d.Ranks < 2 {
+		return fmt.Errorf("runtime: distributed run needs at least 2 ranks, got %d", d.Ranks)
+	}
+	if d.Rank < 0 || d.Rank >= d.Ranks {
+		return fmt.Errorf("runtime: rank %d out of range [0,%d)", d.Rank, d.Ranks)
+	}
+	if d.Ranks > numNodes {
+		return fmt.Errorf("runtime: %d ranks exceed the graph's %d virtual nodes", d.Ranks, numNodes)
+	}
+	if d.Net.Rank() != d.Rank || d.Net.Ranks() != d.Ranks {
+		return fmt.Errorf("runtime: Dist (rank %d/%d) disagrees with its conduit (rank %d/%d)",
+			d.Rank, d.Ranks, d.Net.Rank(), d.Net.Ranks())
+	}
+	return nil
+}
+
+// localNode reports whether the executor's rank owns node n. Always true for
+// single-process runs.
+func (ex *executor) localNode(n int32) bool {
+	return ex.dist == nil || ex.nodeRank[n] == int32(ex.dist.Rank)
+}
+
+// sendRemote ships a message whose destination node lives on another rank
+// and recycles the local payload buffer: the bytes are on the wire (or the
+// send failed and the run is over), so by the same ownership convention the
+// in-process receive path applies, the copy this rank holds is dead.
+func (ex *executor) sendRemote(m Message) {
+	err := ex.dist.Net.Send(m)
+	if m.Bundle != 0 {
+		ex.bundles[m.Bundle-1].lane.put(m.Data)
+	} else if m.Data != nil {
+		PutBuf(m.Data)
+	}
+	if err != nil {
+		ex.fail(err)
+	}
+}
+
+// distDrain is the epilogue of a distributed run, executed on the Run
+// goroutine after local completion while the comm goroutines are still
+// serving acks and retransmits. On success it waits until every reliable
+// message this rank sent has been acknowledged, then holds the "drain"
+// barrier; on failure it broadcasts an abort so peers fail fast instead of
+// waiting for data that will never arrive.
+func (ex *executor) distDrain() {
+	ex.errMu.Lock()
+	runErr := ex.runErr
+	ex.errMu.Unlock()
+	if runErr == nil && ex.reliable {
+		// The recovery layer's own deadline machinery (retransmitDue) bounds
+		// this wait: a peer that never acks fails the run with a
+		// *fault.Report, which the loop observes as runErr.
+		for {
+			pending := int64(0)
+			for _, nd := range ex.nodes {
+				if nd.rel != nil {
+					pending += nd.relPending.Load()
+				}
+			}
+			if pending == 0 {
+				break
+			}
+			ex.errMu.Lock()
+			runErr = ex.runErr
+			ex.errMu.Unlock()
+			if runErr != nil {
+				break
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	if runErr != nil {
+		ex.dist.Net.Abort(runErr.Error())
+		return
+	}
+	if err := ex.dist.Net.Barrier("drain"); err != nil {
+		ex.fail(err)
+	}
+}
+
+// distStats is the per-rank counter snapshot exchanged at the end of a
+// successful distributed run (epilogue traffic, not the hot path — JSON is
+// plenty).
+type distStats struct {
+	Messages       int64       `json:"messages"`
+	BytesSent      int64       `json:"bytes_sent"`
+	BundlesSent    int64       `json:"bundles_sent"`
+	BundleSegments int64       `json:"bundle_segments"`
+	Completed      int64       `json:"completed"`
+	Dropped        int64       `json:"dropped"`
+	InteriorTasks  int64       `json:"interior_tasks"`
+	BorderTasks    int64       `json:"border_tasks"`
+	Fault          fault.Stats `json:"fault"`
+	NodeTasks      []int       `json:"node_tasks"`
+	NodeBusy       []int64     `json:"node_busy"`
+	NodeLocalHits  []int       `json:"node_local_hits"`
+	NodeSteals     []int       `json:"node_steals"`
+	NodeParks      []int       `json:"node_parks"`
+}
+
+// distExchangeStats folds every rank's counters into rank 0's Result, so the
+// distributed totals are exactly the single-process (and simulator) numbers.
+// Non-zero ranks keep their local view. Per-node arrays merge by addition:
+// each rank reports nonzero entries only for the nodes it owns.
+func (ex *executor) distExchangeStats(res *Result) error {
+	mine := distStats{
+		Messages:       ex.messages.Load(),
+		BytesSent:      ex.bytesSent.Load(),
+		BundlesSent:    ex.bundlesSent.Load(),
+		BundleSegments: ex.bundleSegments.Load(),
+		Completed:      ex.completed.Load(),
+		Dropped:        ex.dropped.Load(),
+		InteriorTasks:  int64(res.InteriorTasks),
+		BorderTasks:    int64(res.BorderTasks),
+		Fault:          res.Fault,
+		NodeTasks:      res.NodeTasks,
+		NodeLocalHits:  res.NodeLocalHits,
+		NodeSteals:     res.NodeSteals,
+		NodeParks:      res.NodeParks,
+	}
+	mine.NodeBusy = make([]int64, len(res.NodeBusy))
+	for i, d := range res.NodeBusy {
+		mine.NodeBusy[i] = int64(d)
+	}
+	payload, err := json.Marshal(&mine)
+	if err != nil {
+		return err
+	}
+	blobs, err := ex.dist.Net.Gather("stats", payload)
+	if err != nil {
+		return err
+	}
+	if ex.dist.Rank != 0 {
+		return nil
+	}
+	for r, blob := range blobs {
+		if r == ex.dist.Rank || blob == nil {
+			continue
+		}
+		var s distStats
+		if err := json.Unmarshal(blob, &s); err != nil {
+			return fmt.Errorf("runtime: bad stats payload from rank %d: %v", r, err)
+		}
+		res.Messages += int(s.Messages)
+		res.BytesSent += int(s.BytesSent)
+		res.BundlesSent += int(s.BundlesSent)
+		res.BundleSegments += int(s.BundleSegments)
+		res.Completed += int(s.Completed)
+		res.Dropped += int(s.Dropped)
+		res.InteriorTasks += int(s.InteriorTasks)
+		res.BorderTasks += int(s.BorderTasks)
+		res.Fault.Add(s.Fault)
+		for i := range res.NodeTasks {
+			if i < len(s.NodeTasks) {
+				res.NodeTasks[i] += s.NodeTasks[i]
+			}
+			if i < len(s.NodeBusy) {
+				res.NodeBusy[i] += time.Duration(s.NodeBusy[i])
+			}
+			if i < len(s.NodeLocalHits) {
+				res.NodeLocalHits[i] += s.NodeLocalHits[i]
+			}
+			if i < len(s.NodeSteals) {
+				res.NodeSteals[i] += s.NodeSteals[i]
+			}
+			if i < len(s.NodeParks) {
+				res.NodeParks[i] += s.NodeParks[i]
+			}
+		}
+	}
+	return nil
+}

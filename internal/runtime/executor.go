@@ -118,6 +118,13 @@ type Options struct {
 	// every 1/128th of the graph in between. It is invoked from worker
 	// goroutines and must be cheap and concurrency-safe.
 	OnProgress func(done, total int64)
+	// Dist, when non-nil, distributes the run across multiple OS processes:
+	// this process runs workers only for the virtual nodes RankOfNode
+	// assigns to Dist.Rank and routes messages for remote nodes through
+	// Dist.Net (see dist.go). Total/progress counts cover the local slice;
+	// after a successful run rank 0's Result carries the globally summed
+	// counters, and only local nodes' Stores hold data.
+	Dist *Dist
 }
 
 // Result summarizes a completed execution.
@@ -217,6 +224,10 @@ type execNode struct {
 	outSeq     int
 	coreSeq    []int
 	pauseUntil atomic.Int64
+	// relPending mirrors len(rel.outstanding) for readers outside the comm
+	// goroutine: the distributed drain (dist.go) polls it to learn when
+	// every reliable send has been acknowledged.
+	relPending atomic.Int64
 }
 
 // wake bumps the wake sequence and wakes up to n parked workers. Called by
@@ -268,6 +279,17 @@ type executor struct {
 	cancelled     atomic.Bool
 	progressEvery int64
 	finished      chan struct{}
+
+	// Distribution state (see dist.go; nil/aliased for single-process runs).
+	// commStop is what comm goroutines drain on: it aliases finished in a
+	// single-process run, but a distributed run keeps its comm goroutines
+	// alive past local completion (peers still need acks and dedup) and
+	// closes commStop only after the drain barrier. commClosed mirrors the
+	// close for the deliver path.
+	dist       *Dist
+	nodeRank   []int32
+	commStop   chan struct{}
+	commClosed atomic.Bool
 
 	messages       atomic.Int64
 	bytesSent      atomic.Int64
@@ -340,6 +362,25 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 		finished:  make(chan struct{}),
 		nodeTasks: make([]atomic.Int64, g.NumNodes),
 		nodeBusy:  make([]atomic.Int64, g.NumNodes),
+	}
+	ex.commStop = ex.finished
+	if opts.Dist != nil {
+		if err := validateDist(opts.Dist, g.NumNodes); err != nil {
+			return nil, err
+		}
+		ex.dist = opts.Dist
+		ex.nodeRank = make([]int32, g.NumNodes)
+		for n := range ex.nodeRank {
+			ex.nodeRank[n] = int32(RankOfNode(n, g.NumNodes, opts.Dist.Ranks))
+		}
+		ex.commStop = make(chan struct{})
+		local := int64(0)
+		for i := range g.Tasks {
+			if ex.localNode(g.Tasks[i].Node) {
+				local++
+			}
+		}
+		ex.total = local
 	}
 	if opts.Fault.Active() {
 		ex.fplan = opts.Fault
@@ -419,12 +460,25 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 		}
 	}
 
-	if ex.total == 0 {
+	if ex.total == 0 && ex.dist == nil {
 		return &Result{Stores: ex.stores()}, nil
 	}
 	ex.progressEvery = ex.total / 128
 	if ex.progressEvery == 0 {
 		ex.progressEvery = 1
+	}
+
+	// Distributed runs bind the conduit and hold the start barrier before
+	// epoch 0: every rank's lanes are up and bound before any data frame can
+	// be produced, so no rank ever receives wire traffic it has no run for.
+	if ex.dist != nil {
+		if err := ex.dist.Net.Bind(g.NumNodes, ex.deliver, ex.fail); err != nil {
+			return nil, err
+		}
+		if err := ex.dist.Net.Barrier("start"); err != nil {
+			ex.dist.Net.Unbind()
+			return nil, err
+		}
 	}
 
 	ex.t0 = time.Now()
@@ -452,6 +506,9 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 
 	var wg sync.WaitGroup
 	for _, nd := range ex.nodes {
+		if !ex.localNode(nd.id) {
+			continue
+		}
 		for w := 0; w < opts.Workers; w++ {
 			wg.Add(1)
 			go ex.worker(nd, int32(w), &wg)
@@ -460,13 +517,28 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 		go ex.comm(nd, &wg)
 	}
 
-	// Seed the roots.
+	// Seed the local roots.
 	for _, r := range g.Roots() {
-		ex.enqueue(r)
+		if ex.localNode(g.Tasks[r].Node) {
+			ex.enqueue(r)
+		}
+	}
+	if ex.total == 0 {
+		// An idle rank (more ranks than populated nodes, or a graph whose
+		// tasks all live elsewhere) still owes the peers its barriers and
+		// stats, so it completes immediately rather than returning early.
+		ex.finish()
 	}
 
 	<-ex.finished
 	elapsed := time.Since(ex.t0)
+	if ex.dist != nil {
+		// Keep comm goroutines serving acks/dedup until every peer has
+		// drained (or the run's failure is broadcast), then release them.
+		ex.distDrain()
+		ex.commClosed.Store(true)
+		close(ex.commStop)
+	}
 	wg.Wait()
 	// Wait out background deliveries (injected delays, overflow enqueues)
 	// so the final accounting sweep below sees every in-flight copy.
@@ -550,6 +622,14 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 		res.OverlapRatio = trace.OverlapRatio(comm, inner)
 		res.InteriorTasks = int(ex.interiorTasks.Load())
 		res.BorderTasks = int(ex.borderTasks.Load())
+	}
+	if ex.dist != nil {
+		if err == nil {
+			if gerr := ex.distExchangeStats(res); gerr != nil {
+				err = gerr
+			}
+		}
+		ex.dist.Net.Unbind()
 	}
 	if err != nil {
 		// The partial result accompanies the error so callers can audit
@@ -849,7 +929,7 @@ func (ex *executor) comm(nd *execNode, wg *sync.WaitGroup) {
 			ex.receive(nd, m)
 		case <-tickC:
 			ex.retransmitDue(nd)
-		case <-ex.finished:
+		case <-ex.commStop:
 			// Drain anything already queued, counting the discards: a
 			// dropped transfer is data the accounting says moved (or was
 			// about to move) but that never reached its consumer. A bundle
@@ -877,7 +957,18 @@ func (ex *executor) comm(nd *execNode, wg *sync.WaitGroup) {
 // blocking the sending comm goroutine (two mutually full peers would
 // deadlock).
 func (ex *executor) deliver(m Message) {
-	if ex.done.Load() {
+	if ex.dist != nil && ex.nodeRank[m.Dst] != int32(ex.dist.Rank) {
+		ex.sendRemote(m)
+		return
+	}
+	stopped := ex.done.Load()
+	if ex.dist != nil {
+		// A distributed run keeps accepting wire traffic (acks, late
+		// duplicates) past local completion, until the drain barrier
+		// releases the comm goroutines.
+		stopped = ex.commClosed.Load()
+	}
+	if stopped {
 		ex.dropped.Add(ex.droppedTransfers(m))
 		return
 	}
@@ -889,7 +980,7 @@ func (ex *executor) deliver(m Message) {
 			defer ex.bgWg.Done()
 			select {
 			case ex.nodes[m.Dst].inbox <- m:
-			case <-ex.finished:
+			case <-ex.commStop:
 				ex.dropped.Add(ex.droppedTransfers(m))
 			}
 		}()

@@ -105,6 +105,7 @@ func (ex *executor) track(nd *execNode, m Message) Message {
 		firstSent: now,
 		nextRetry: now.Add(ex.rec.TimeoutAt(0)),
 	}
+	nd.relPending.Add(1)
 	return m
 }
 
@@ -239,6 +240,7 @@ func (ex *executor) handleAck(nd *execNode, m Message) {
 	k := laneSeq{peer: m.Src, seq: m.Seq}
 	if p, ok := nd.rel.outstanding[k]; ok {
 		delete(nd.rel.outstanding, k)
+		nd.relPending.Add(-1)
 		ex.releasePending(p)
 	}
 }

@@ -1,14 +1,10 @@
 package server
 
 import (
-	"crypto/sha256"
 	"encoding/base64"
-	"encoding/binary"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
 	"net/http"
 	"time"
 
@@ -106,12 +102,26 @@ func Handler(m *Manager) http.Handler {
 		m.mu.Lock()
 		draining := m.draining
 		m.mu.Unlock()
+		status, line := http.StatusOK, "ok"
 		if draining {
-			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintln(w, "draining")
-			return
+			status, line = http.StatusServiceUnavailable, "draining"
 		}
-		fmt.Fprintln(w, "ok")
+		var transport string
+		if t := m.Transport(); t != nil {
+			up, want := t.Connected()
+			transport = fmt.Sprintf("transport: rank %d, %d/%d ranks connected", t.Rank(), up, want)
+			if up < want && status == http.StatusOK {
+				// A degraded mesh cannot accept distributed jobs: surface it
+				// the same way draining is surfaced, so load balancers and
+				// the smoke tests see the gap before a run hangs on it.
+				status, line = http.StatusServiceUnavailable, "degraded"
+			}
+		}
+		w.WriteHeader(status)
+		fmt.Fprintln(w, line)
+		if transport != "" {
+			fmt.Fprintln(w, transport)
+		}
 	})
 	return mux
 }
@@ -141,12 +151,14 @@ type Result struct {
 func buildResult(j *Job, withGrid bool) Result {
 	out := Result{View: j.Snapshot()}
 	if res := j.RealResult(); res != nil {
-		raw := gridBytes(res)
-		sum := sha256.Sum256(raw)
-		out.GridN = res.Grid.Rows
-		out.GridSHA256 = hex.EncodeToString(sum[:])
-		if withGrid {
-			out.GridData = base64.StdEncoding.EncodeToString(raw)
+		// A distributed follower's result has no grid (rank 0 holds the
+		// gathered field); its counters are still its rank's local view.
+		if res.Grid != nil {
+			out.GridN = res.Grid.Rows
+			out.GridSHA256 = castencil.GridSHA256(res.Grid)
+			if withGrid {
+				out.GridData = base64.StdEncoding.EncodeToString(castencil.GridBytes(res.Grid))
+			}
 		}
 		ex := res.Exec
 		out.Tasks = ex.Completed
@@ -163,21 +175,6 @@ func buildResult(j *Job, withGrid bool) Result {
 		out.Tasks = res.Sim.Tasks
 		out.Messages = res.Messages
 		out.BytesSent = res.BytesSent
-	}
-	return out
-}
-
-// gridBytes serializes the final grid row-major as little-endian float64 —
-// the canonical byte form under the service's determinism fingerprint.
-func gridBytes(res *castencil.RealResult) []byte {
-	g := res.Grid
-	out := make([]byte, 0, g.Rows*g.Cols*8)
-	var buf [8]byte
-	for r := 0; r < g.Rows; r++ {
-		for _, v := range g.Row(r, 0, g.Cols) {
-			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-			out = append(out, buf[:]...)
-		}
 	}
 	return out
 }

@@ -121,6 +121,13 @@ type Spec struct {
 	Machine  string  `json:"machine,omitempty"` // sim + plan=auto; default NaCL
 	Ratio    float64 `json:"ratio,omitempty"`
 
+	// Ranks marks the job distributed: it runs across this many stencild
+	// processes over the daemon's -ranks mesh (rank 0 broadcasts the spec,
+	// every follower executes it with the shared transport). Must equal the
+	// mesh size, needs the real engine, and is only accepted by rank 0.
+	// 0 (the default) runs single-process.
+	Ranks int `json:"ranks,omitempty"`
+
 	Priority string `json:"priority,omitempty"`
 	// TimeoutMS is the job's run deadline in milliseconds (0 = the
 	// manager's default). A job past its deadline stops promptly and
@@ -146,6 +153,7 @@ type buildSpec struct {
 	fault    *castencil.FaultPlan
 	machine  *castencil.Machine
 	ratio    float64
+	ranks    int
 }
 
 // build validates the spec and resolves every string knob through the same
@@ -236,6 +244,21 @@ func (s Spec) build() (*buildSpec, error) {
 	if b.fault, err = castencil.ParseFaultPlan(s.Fault); err != nil {
 		return nil, err
 	}
+	if s.Ranks < 0 {
+		return nil, fmt.Errorf("server: ranks must be >= 0, got %d", s.Ranks)
+	}
+	if s.Ranks > 0 {
+		if s.Ranks < 2 {
+			return nil, fmt.Errorf("server: a distributed job needs ranks >= 2, got %d", s.Ranks)
+		}
+		if b.engine != "real" {
+			return nil, fmt.Errorf("server: distributed jobs (ranks=%d) need the real engine, not %q", s.Ranks, b.engine)
+		}
+		if s.Ranks > nodes {
+			return nil, fmt.Errorf("server: ranks=%d exceeds the job's %d virtual nodes", s.Ranks, nodes)
+		}
+	}
+	b.ranks = s.Ranks
 	machineName := s.Machine
 	if machineName == "" {
 		machineName = "NaCL"

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -47,6 +48,13 @@ type Config struct {
 	// Registry receives the service metrics (nil = a fresh registry,
 	// exposed via Metrics()).
 	Registry *metrics.Registry
+	// Transport is the distributed mesh of a multi-rank deployment (nil =
+	// single-process daemon). A job submitted with ranks>0 runs across it:
+	// rank 0 broadcasts the spec over the mesh and runs with the shared
+	// transport while every follower executes the broadcast through
+	// RunFollower. Distributed jobs serialize — the mesh carries one run
+	// at a time, in the same order on every rank.
+	Transport *castencil.NetTransport
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +91,11 @@ type Manager struct {
 	nextID   uint64
 
 	execWg sync.WaitGroup
+
+	// distMu serializes distributed jobs: every rank must execute mesh
+	// broadcasts in the same order, so rank 0 admits one onto the wire at
+	// a time (local single-process jobs run unserialized alongside).
+	distMu sync.Mutex
 
 	// Instruments. Counter families are documented in DESIGN.md.
 	mSubmitted  *metrics.Counter
@@ -146,12 +159,27 @@ func New(cfg Config) *Manager {
 // Metrics returns the registry the manager reports into.
 func (m *Manager) Metrics() *metrics.Registry { return m.reg }
 
+// Transport returns the distributed mesh the manager serves (nil in a
+// single-process daemon).
+func (m *Manager) Transport() *castencil.NetTransport { return m.cfg.Transport }
+
 // Submit validates and admits a job, returning it in StateQueued. The
 // queue is bounded: a full queue rejects with ErrQueueFull immediately.
 func (m *Manager) Submit(spec Spec) (*Job, error) {
 	b, err := spec.build()
 	if err != nil {
 		return nil, err
+	}
+	if b.ranks > 0 {
+		t := m.cfg.Transport
+		switch {
+		case t == nil:
+			return nil, fmt.Errorf("server: distributed job (ranks=%d) needs a daemon started with -ranks", b.ranks)
+		case t.Rank() != 0:
+			return nil, fmt.Errorf("server: distributed jobs are submitted to rank 0 (this daemon is rank %d)", t.Rank())
+		case b.ranks != t.Ranks():
+			return nil, fmt.Errorf("server: spec ranks %d does not match the %d-rank mesh", b.ranks, t.Ranks())
+		}
 	}
 	if b.timeout == 0 {
 		b.timeout = m.cfg.DefaultTimeout
@@ -339,36 +367,19 @@ func (m *Manager) runJob(j *Job) {
 	defer cancel()
 	m.mQueueWait.Observe(wait.Seconds())
 
-	variant := b.variant
-	cfg := b.cfg
-	if b.planAuto {
-		plan, err := castencil.AutoPlan(cfg, b.machine, planRatio(b.ratio), nil)
-		if err != nil {
-			m.finishJob(j, err)
-			return
-		}
-		j.mu.Lock()
-		j.plan = plan
-		j.mu.Unlock()
-		switch {
-		case plan.UseCA():
-			variant = castencil.CA
-			cfg.StepSize = plan.BestStepSize
-		case plan.UseWavefront():
-			variant = castencil.WF
-			cfg.Wavefront = plan.BestWidth
-		default:
-			variant = castencil.Base
-		}
+	variant, cfg, err := m.resolvePlan(j, b)
+	if err != nil {
+		m.finishJob(j, err)
+		return
 	}
 
 	progress := func(done, total int64) {
 		j.progDone.Store(done)
 		j.progTotal.Store(total)
 	}
-	start := time.Now()
 	switch b.engine {
 	case "sim":
+		start := time.Now()
 		res, err := castencil.Sim(variant, cfg,
 			castencil.WithMachine(b.machine),
 			castencil.WithRatio(b.ratio),
@@ -400,27 +411,83 @@ func (m *Manager) runJob(j *Job) {
 		if b.schedSet {
 			opts = append(opts, castencil.WithSched(b.sched), castencil.WithPolicy(b.policy))
 		}
-		res, err := castencil.Run(variant, cfg, opts...)
-		m.mDuration["real"].Observe(time.Since(start).Seconds())
-		if err == nil {
-			ex := res.Exec
-			m.mTasks.Add(int64(ex.Completed))
-			m.mMessages.Add(int64(ex.Messages))
-			m.mBytes.Add(int64(ex.BytesSent))
-			m.mBundles.Add(int64(ex.BundlesSent))
-			m.mSegments.Add(int64(ex.BundleSegments))
-			m.mRetransmit.Add(int64(ex.Fault.Retransmits))
-			steals := 0
-			for _, s := range ex.NodeSteals {
-				steals += s
+		if b.ranks > 0 {
+			// Distributed: broadcast the spec so every follower enters the
+			// same run, then execute with the shared mesh. The broadcast
+			// carries the raw submitted spec — followers re-validate and
+			// re-resolve it with the same deterministic parsers and planner,
+			// so every rank agrees on the resulting configuration.
+			m.distMu.Lock()
+			defer m.distMu.Unlock()
+			payload, err := json.Marshal(j.Spec)
+			if err == nil {
+				err = m.cfg.Transport.SendJob(payload)
 			}
-			m.mSteals.Add(int64(steals))
-			j.mu.Lock()
-			j.real = res
-			j.mu.Unlock()
+			if err != nil {
+				m.finishJob(j, err)
+				return
+			}
+			opts = append(opts, castencil.WithTransport(m.cfg.Transport))
 		}
-		m.finishJob(j, err)
+		m.execReal(j, variant, cfg, opts)
 	}
+}
+
+// resolvePlan applies a plan=auto decision, recording it on the job. The
+// planner is a deterministic function of the spec and machine model, so
+// every rank of a distributed job resolves the identical configuration.
+func (m *Manager) resolvePlan(j *Job, b *buildSpec) (castencil.Variant, castencil.Config, error) {
+	variant, cfg := b.variant, b.cfg
+	if !b.planAuto {
+		return variant, cfg, nil
+	}
+	plan, err := castencil.AutoPlan(cfg, b.machine, planRatio(b.ratio), nil)
+	if err != nil {
+		return variant, cfg, err
+	}
+	j.mu.Lock()
+	j.plan = plan
+	j.mu.Unlock()
+	switch {
+	case plan.UseCA():
+		variant = castencil.CA
+		cfg.StepSize = plan.BestStepSize
+	case plan.UseWavefront():
+		variant = castencil.WF
+		cfg.Wavefront = plan.BestWidth
+	default:
+		variant = castencil.Base
+	}
+	return variant, cfg, nil
+}
+
+// execReal runs a real-engine job to its terminal state and folds the
+// outcome into the service counters. On a distributed run, rank 0's result
+// carries the global counters (the runtime folds every rank's slice at the
+// drain gather) while a follower's carries only its local slice — each
+// daemon's metrics report its own rank's view.
+func (m *Manager) execReal(j *Job, variant castencil.Variant, cfg castencil.Config, opts []castencil.Option) {
+	start := time.Now()
+	res, err := castencil.Run(variant, cfg, opts...)
+	m.mDuration["real"].Observe(time.Since(start).Seconds())
+	if err == nil {
+		ex := res.Exec
+		m.mTasks.Add(int64(ex.Completed))
+		m.mMessages.Add(int64(ex.Messages))
+		m.mBytes.Add(int64(ex.BytesSent))
+		m.mBundles.Add(int64(ex.BundlesSent))
+		m.mSegments.Add(int64(ex.BundleSegments))
+		m.mRetransmit.Add(int64(ex.Fault.Retransmits))
+		steals := 0
+		for _, s := range ex.NodeSteals {
+			steals += s
+		}
+		m.mSteals.Add(int64(steals))
+		j.mu.Lock()
+		j.real = res
+		j.mu.Unlock()
+	}
+	m.finishJob(j, err)
 }
 
 // planRatio maps the spec's ratio (0 = unset) onto AutoPlan's knob, where

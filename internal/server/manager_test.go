@@ -61,7 +61,7 @@ func quickSpec(seed uint64) Spec {
 // gridHash is the determinism fingerprint: sha256 over the grid's
 // canonical byte form (the same bytes /result serves).
 func gridHash(res *castencil.RealResult) [32]byte {
-	return sha256.Sum256(gridBytes(res))
+	return sha256.Sum256(castencil.GridBytes(res.Grid))
 }
 
 // TestConcurrentJobsDeterministic is the service's core guarantee: N jobs

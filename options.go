@@ -6,6 +6,7 @@ import (
 
 	"castencil/internal/core"
 	"castencil/internal/fault"
+	"castencil/internal/netcomm"
 	"castencil/internal/ptg"
 	"castencil/internal/runtime"
 )
@@ -112,6 +113,19 @@ type RunOptions struct {
 	// graph-transformation pass applied before execution — for either
 	// engine.
 	Transform TransformMode
+	// Rank and RankAddrs configure a true multi-process distributed real
+	// run: RankAddrs is the full static member list (host:port per rank,
+	// identical on every rank) and Rank is this process's index into it.
+	// Run establishes the TCP mesh, executes this rank's slice of the
+	// graph, and tears the mesh down. Only rank 0's RealResult carries the
+	// gathered Grid (and the globally-summed counters); other ranks get a
+	// nil Grid and their local counter view.
+	Rank      int
+	RankAddrs []string
+	// Conduit reuses an already-established transport for a distributed
+	// run instead of connecting per run (stencild and the bench harness
+	// keep one mesh across many jobs). Overrides RankAddrs.
+	Conduit Conduit
 	// Ctx bounds the run on either engine: a cancelled or deadline-exceeded
 	// context stops workers and communication goroutines promptly (task
 	// granularity) and the run returns a *CancelError wrapping the context
@@ -200,6 +214,21 @@ func WithWavefront(w int) Option { return func(o *RunOptions) { o.Wavefront = w 
 // identical to the untransformed graph.
 func WithTransform(m TransformMode) Option { return func(o *RunOptions) { o.Transform = m } }
 
+// WithRanks configures a multi-process distributed real run: addrs is the
+// full static member list (one host:port per rank, the same list on every
+// rank) and rank is this process's index into it. Run connects the mesh —
+// one persistent TCP lane per rank pair — runs this rank's slice of the
+// graph, and closes the mesh when the run returns. See DESIGN.md
+// ("Distributed transport") for the wire protocol and failure semantics.
+func WithRanks(rank int, addrs []string) Option {
+	return func(o *RunOptions) { o.Rank, o.RankAddrs = rank, addrs }
+}
+
+// WithTransport runs distributed over an already-connected transport (see
+// NetConnect), reusing one mesh across many runs — the daemon's and bench
+// harness's mode. The transport is not closed by Run.
+func WithTransport(c Conduit) Option { return func(o *RunOptions) { o.Conduit = c } }
+
 // WithContext bounds the run with ctx on either engine: cancellation or a
 // deadline stops the run promptly (nothing new starts, communication
 // drains) and Run/Sim return a *CancelError that wraps the context error —
@@ -278,7 +307,43 @@ func Run(v Variant, cfg Config, opts ...Option) (*RealResult, error) {
 	if o.Transform != core.TransformNone {
 		cfg.Transform = o.Transform
 	}
-	return core.RunReal(v, cfg, o.real())
+	ro := o.real()
+	net := o.Conduit
+	if net == nil && len(o.RankAddrs) > 0 {
+		t, err := netcomm.Connect(netcomm.Options{
+			Rank:     o.Rank,
+			Addrs:    o.RankAddrs,
+			Recovery: derefRecovery(o.Recovery),
+			Trace:    traceForComm(o),
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer t.Close()
+		net = t
+	}
+	if net != nil {
+		ro.Dist = &runtime.Dist{Rank: net.Rank(), Ranks: net.Ranks(), Net: net}
+	}
+	return core.RunReal(v, cfg, ro)
+}
+
+// derefRecovery adapts the option bag's pointer form to netcomm's value
+// form (zero value = defaults).
+func derefRecovery(r *FaultRecovery) FaultRecovery {
+	if r == nil {
+		return FaultRecovery{}
+	}
+	return *r
+}
+
+// traceForComm forwards the run's trace to the transport only when comm
+// tracing was requested, matching the in-process TraceComm gate.
+func traceForComm(o RunOptions) *Trace {
+	if o.TraceComm {
+		return o.Trace
+	}
+	return nil
 }
 
 // Sim predicts a stencil variant's performance on a machine model in
