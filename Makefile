@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-sched bench-comm bench-fault bench-serve bench-tb bench-overlap bench-lanes serve check
+.PHONY: all build vet test race bench-smoke bench bench-sched bench-comm bench-fault bench-serve bench-tb bench-overlap bench-lanes bench-dsteal serve check
 
 all: check
 
@@ -83,6 +83,15 @@ bench-lanes:
 		-benchtime 100x -benchmem \
 		./internal/netcomm/
 	$(GO) run ./cmd/stencilbench -exp lanes -quick
+
+# Inter-node work-stealing ablation behind BENCH_9.json: simulated skewed
+# makespan win, real-mesh sim==real migration parity, and the steal
+# round-trip microbenchmark over a loopback lane.
+bench-dsteal:
+	$(GO) test -run '^$$' -bench 'StealRoundTrip' \
+		-benchtime 100x -benchmem \
+		./internal/netcomm/
+	$(GO) run ./cmd/stencilbench -exp dsteal -quick
 
 # Run the stencil-as-a-service daemon locally.
 serve:

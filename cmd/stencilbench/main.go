@@ -36,6 +36,7 @@ func main() {
 	coalesce := cli.CoalesceVar(flag.CommandLine, "")
 	transform := cli.TransformVar(flag.CommandLine, "")
 	faultSpec := cli.FaultVar(flag.CommandLine)
+	steal := cli.StealVar(flag.CommandLine, "")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the experiments to this file")
 	flag.Parse()
@@ -80,6 +81,7 @@ func main() {
 	p.Coalesce = coalesce.Name
 	p.Transform = transform.Name
 	p.Fault = faultSpec.Spec
+	p.Steal = steal.Name
 	o := bench.ExpOpts{Host: *host, GanttWidth: *gantt}
 
 	valid := bench.ExperimentIDs()

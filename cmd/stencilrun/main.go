@@ -42,6 +42,7 @@ func main() {
 	coalesceFlag := cli.CoalesceVar(flag.CommandLine, "off")
 	transformFlag := cli.TransformVar(flag.CommandLine, "none")
 	faultFlag := cli.FaultVar(flag.CommandLine)
+	stealFlag := cli.StealVar(flag.CommandLine, "")
 	rankFlag := cli.RankVar(flag.CommandLine)
 	ranksFlag := cli.RanksVar(flag.CommandLine)
 	verify := flag.Bool("verify", false, "real engine: compare against the sequential oracle")
@@ -57,6 +58,9 @@ func main() {
 	}
 	if distributed && *engine != "real" {
 		fail(fmt.Errorf("-ranks needs -engine real (the simulator is single-process)"))
+	}
+	if stealFlag.Mode != castencil.StealOff && !distributed {
+		fail(fmt.Errorf("-steal %s needs -ranks (inter-node stealing is a distributed-run feature)", stealFlag.Name))
 	}
 
 	p := 1
@@ -207,7 +211,11 @@ func main() {
 			castencil.WithFaultPlan(faultFlag.Plan),
 		}
 		if distributed {
-			opts = append(opts, castencil.WithRanks(rank, rankAddrs))
+			opts = append(opts, castencil.WithCluster(castencil.ClusterOptions{
+				Rank:  rank,
+				Ranks: rankAddrs,
+				Steal: castencil.StealPolicy{Mode: stealFlag.Mode, Machine: m},
+			}))
 		}
 		var tr *castencil.Trace
 		if *traceOut != "" {
@@ -233,6 +241,10 @@ func main() {
 			variant, schedFlag.Sched, *nodes, *workers, res.Exec.Elapsed, res.Exec.Messages, float64(res.Exec.BytesSent)/1e6)
 		if distributed {
 			fmt.Printf("  distributed: %d ranks, grid sha256 %s\n", len(rankAddrs), castencil.GridSHA256(res.Grid))
+			if stealFlag.Mode != castencil.StealOff || res.Exec.MigratedTasks > 0 {
+				fmt.Printf("  steal (%s): %d tasks migrated, %.1f KB migration traffic, %d remote steals\n",
+					stealFlag.Mode, res.Exec.MigratedTasks, float64(res.Exec.MigratedBytes)/1e3, res.Exec.StealsRemote)
+			}
 		}
 		if res.Exec.BundlesSent > 0 {
 			fmt.Printf("  coalescing (%s): %d bundles carrying %d transfers, fill %.1f\n",

@@ -108,6 +108,9 @@ type Params struct {
 	// Transform filters the overlap ablation to one graph-transform mode
 	// ("none", "split"); empty runs the full split-vs-unsplit comparison.
 	Transform string
+	// Steal filters the work-stealing ablation's real arms to one policy
+	// ("off", "greedy", "gated", "forced"); empty runs them all.
+	Steal string
 }
 
 // PaperParams returns the paper's exact experimental configuration.

@@ -91,6 +91,8 @@ var experiments = []Experiment{
 		func(p Params, o ExpOpts, w io.Writer) error { r, err := Serve(p); return writeReport(r, err, w) }},
 	{"lanes", "distributed transport: persistent lanes vs per-message connections",
 		func(p Params, o ExpOpts, w io.Writer) error { r, err := Lanes(p); return writeReport(r, err, w) }},
+	{"dsteal", "inter-node work stealing on a skewed decomposition",
+		func(p Params, o ExpOpts, w io.Writer) error { r, err := Dsteal(p); return writeReport(r, err, w) }},
 }
 
 // Experiments returns the registered experiments in "-exp all" execution

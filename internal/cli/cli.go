@@ -59,6 +59,58 @@ func SchedVar(fs *flag.FlagSet, def string) *SchedFlag {
 	return f
 }
 
+// ParseSteal is the canonical parser for inter-node work-stealing modes:
+// "off" (or ""), "greedy", "gated". Every surface that accepts a steal
+// spelling — the -steal flag here, the job-spec "steal" field in
+// internal/server, the facade's cluster options — resolves through it, so
+// the accepted vocabulary is defined exactly once.
+func ParseSteal(s string) (runtime.StealMode, error) {
+	switch s {
+	case "", "off":
+		return runtime.StealOff, nil
+	case "greedy":
+		return runtime.StealGreedy, nil
+	case "gated":
+		return runtime.StealGated, nil
+	}
+	return runtime.StealOff, fmt.Errorf("unknown steal mode %q (want %s)", s, runtime.StealNames)
+}
+
+// StealFlag is the -steal flag: an inter-node work-stealing mode resolved
+// through ParseSteal. Name keeps the raw spelling so bench experiments can
+// distinguish "unset" from an explicit "off".
+type StealFlag struct {
+	Name string
+	Mode runtime.StealMode
+}
+
+func (f *StealFlag) String() string { return f.Name }
+
+// Set parses and validates a steal mode; "" resets to unset.
+func (f *StealFlag) Set(s string) error {
+	if s == "" {
+		*f = StealFlag{}
+		return nil
+	}
+	m, err := ParseSteal(s)
+	if err != nil {
+		return err
+	}
+	f.Name, f.Mode = s, m
+	return nil
+}
+
+// StealVar registers -steal on fs with the given default spelling (""
+// leaves it unset). A bad default panics.
+func StealVar(fs *flag.FlagSet, def string) *StealFlag {
+	f := &StealFlag{}
+	if err := f.Set(def); err != nil {
+		panic(fmt.Sprintf("cli: bad default -steal %q: %v", def, err))
+	}
+	fs.Var(f, "steal", "inter-node work stealing (distributed runs): "+runtime.StealNames)
+	return f
+}
+
 // CoalesceFlag is the -coalesce flag: a halo-bundle coalescing mode
 // resolved through ptg.ParseCoalesce. Name keeps the raw spelling so
 // bench experiments can distinguish "unset" (run every mode) from an

@@ -123,6 +123,7 @@ func BuildGraph(v Variant, cfg Config) (*ptg.Graph, error) {
 				if cfg.WithBodies {
 					task.Run = bd.body(inf, t)
 				}
+				task.Mig = bd.migration(inf, t)
 				if _, err := gb.AddTask(task); err != nil {
 					return nil, err
 				}
@@ -613,6 +614,172 @@ func (b *builder) consumeDir(e ptg.Env, st *tileState, inf *tileInfo, d grid.Dir
 	key := BufKey{TI: p.ti, TJ: p.tj, Step: t - 1, Dir: d.Opposite()}
 	vals := e.Take(key).([]float64)
 	st.cur.Unpack(rc, vals)
+}
+
+// migFlow is one halo flow a migrating task consumes or produces, resolved
+// to its transfer mechanics at build time: the exact payload size, the slot
+// it rides on the fast path, and the key of the slow-path fallback.
+type migFlow struct {
+	slot  int32 // -1 selects the keyed fallback
+	key   BufKey
+	bytes int
+}
+
+// migration builds the steal-protocol hooks of the compute task at iteration
+// t (see ptg.Migration): the full ghost-inclusive tile contents plus every
+// consumed input halo travel to the thief, the post-step tile contents plus
+// every produced output halo travel back. Byte geometry is derived from the
+// same flow() truth the dependency graph uses, so InBytes/OutBytes are exact
+// on cost-only graphs too — the simulator prices migrations identically.
+//
+// Determinism argument: the payload ships cur's complete storage (interior
+// and every ghost cell), so the thief executes the byte-identical kernel
+// input a local run would have. The thief-side next buffer differs from the
+// victim's only in ghost cells that are provably dead — every later read of
+// a ghost is preceded by a halo consume or an in-task write — so the grid a
+// committed migration leaves behind is bitwise-identical to local execution.
+func (b *builder) migration(inf *tileInfo, t int) *ptg.Migration {
+	if t == 0 {
+		return nil // init allocates the tile state; it never migrates
+	}
+	var ins, outs []migFlow
+	for _, d := range grid.AllDirs {
+		if p := b.neighbor(inf, d); p != nil {
+			if depth, ok := b.flow(p, d.Opposite(), t-1); ok {
+				f := migFlow{
+					slot:  -1,
+					key:   BufKey{TI: p.ti, TJ: p.tj, Step: t - 1, Dir: d.Opposite()},
+					bytes: b.sendRect(p, d.Opposite(), depth).Bytes(),
+				}
+				if inf.recvSlot[d].base >= 0 {
+					f.slot = b.slotOf(inf.recvSlot[d], inf, t-1)
+				}
+				ins = append(ins, f)
+			}
+		}
+		if depth, ok := b.flow(inf, d, t); ok {
+			f := migFlow{
+				slot:  -1,
+				key:   BufKey{TI: inf.ti, TJ: inf.tj, Step: t, Dir: d},
+				bytes: b.sendRect(inf, d, depth).Bytes(),
+			}
+			if inf.sendSlot[d].base >= 0 {
+				f.slot = b.slotOf(inf.sendSlot[d], b.neighbor(inf, d), t)
+			}
+			outs = append(outs, f)
+		}
+	}
+	full := grid.Rect{
+		R0: -inf.halo, C0: -inf.halo,
+		H: inf.rows + 2*inf.halo, W: inf.cols + 2*inf.halo,
+	}
+	mig := &ptg.Migration{InBytes: full.Bytes(), OutBytes: full.Bytes()}
+	for _, f := range ins {
+		mig.InBytes += f.bytes
+	}
+	for _, f := range outs {
+		mig.OutBytes += f.bytes
+	}
+	if !b.cfg.WithBodies {
+		return mig
+	}
+	cfg := b.cfg
+	mig.PackIn = func(e ptg.Env) []byte {
+		st := b.state(e, inf)
+		data := runtime.GetBuf(mig.InBytes)[:mig.InBytes]
+		off := full.Bytes()
+		st.cur.PackBytes(full, data[:off])
+		for _, f := range ins {
+			seg := data[off : off+f.bytes]
+			if se, ok := e.(ptg.SlotEnv); ok && f.slot >= 0 {
+				buf := se.TakeBufSlot(f.slot)
+				copy(seg, buf)
+				runtime.PutBuf(buf)
+			} else {
+				copy(seg, EncodeFloats(e.Take(f.key).([]float64)))
+			}
+			off += f.bytes
+		}
+		return data
+	}
+	mig.Deposit = func(e ptg.Env, data []byte) {
+		st := migState(e, inf, cfg)
+		off := full.Bytes()
+		st.cur.UnpackBytes(full, data[:off])
+		for _, f := range ins {
+			seg := data[off : off+f.bytes]
+			if se, ok := e.(ptg.SlotEnv); ok && f.slot >= 0 {
+				buf := runtime.GetBuf(f.bytes)[:f.bytes]
+				copy(buf, seg)
+				se.PutBufSlot(f.slot, buf)
+			} else {
+				e.Put(f.key, DecodeFloats(seg))
+			}
+			off += f.bytes
+		}
+	}
+	mig.PackOut = func(e ptg.Env) []byte {
+		st := b.state(e, inf)
+		data := runtime.GetBuf(mig.OutBytes)[:mig.OutBytes]
+		off := full.Bytes()
+		st.cur.PackBytes(full, data[:off])
+		for _, f := range outs {
+			seg := data[off : off+f.bytes]
+			if se, ok := e.(ptg.SlotEnv); ok && f.slot >= 0 {
+				buf := se.TakeBufSlot(f.slot)
+				copy(seg, buf)
+				runtime.PutBuf(buf)
+			} else {
+				copy(seg, EncodeFloats(e.Take(f.key).([]float64)))
+			}
+			off += f.bytes
+		}
+		return data
+	}
+	mig.Commit = func(e ptg.Env, data []byte) {
+		st := b.state(e, inf)
+		off := full.Bytes()
+		// The shipped result lands in next and the double buffer swaps, so
+		// cur holds exactly what a local execution's swap would have left.
+		st.next.UnpackBytes(full, data[:off])
+		st.cur, st.next = st.next, st.cur
+		for _, f := range outs {
+			seg := data[off : off+f.bytes]
+			if se, ok := e.(ptg.SlotEnv); ok && f.slot >= 0 {
+				buf := runtime.GetBuf(f.bytes)[:f.bytes]
+				copy(buf, seg)
+				se.PutBufSlot(f.slot, buf)
+			} else {
+				e.Put(f.key, DecodeFloats(seg))
+			}
+			off += f.bytes
+		}
+	}
+	return mig
+}
+
+// migState fetches — or, on a thief rank executing its first migrated task
+// of this tile, creates — the tile's double-buffer state. The fresh next
+// buffer gets the fixed global boundary in its out-of-domain ghosts (init
+// fills them exactly once in a local run); its remaining cells are dead
+// until written, per the determinism argument above.
+func migState(e ptg.Env, inf *tileInfo, cfg Config) *tileState {
+	if se, ok := e.(ptg.SlotEnv); ok && inf.stateSlot >= 0 {
+		if v := se.GetSlot(inf.stateSlot); v != nil {
+			return v.(*tileState)
+		}
+	} else if v := e.Get(TileKey{TI: inf.ti, TJ: inf.tj}); v != nil {
+		return v.(*tileState)
+	}
+	cur := grid.NewTile(inf.rows, inf.cols, inf.halo)
+	next := grid.NewTile(inf.rows, inf.cols, inf.halo)
+	stencil.FillBoundary(next, inf.r0, inf.c0, cfg.N, cfg.Boundary)
+	st := &tileState{cur: cur, next: next, r0: inf.r0, c0: inf.c0}
+	e.Put(TileKey{TI: inf.ti, TJ: inf.tj}, st)
+	if se, ok := e.(ptg.SlotEnv); ok && inf.stateSlot >= 0 {
+		se.PutSlot(inf.stateSlot, st)
+	}
+	return st
 }
 
 // state fetches the tile's double-buffer state: slot fast path, keyed

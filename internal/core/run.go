@@ -127,6 +127,17 @@ type SimOptions struct {
 	// *ptg.CancelError. OnProgress streams (completed, total) task counts.
 	Ctx        context.Context
 	OnProgress func(done, total int64)
+	// Steal mirrors a distributed run's forced work-stealing migrations in
+	// virtual time (see desim.StealOpts). Node placement follows
+	// runtime.RankOfNode over Steal.Ranks, exactly as a real distributed
+	// run places nodes.
+	Steal *SimSteal
+}
+
+// SimSteal scripts forced migrations for a simulated distributed run.
+type SimSteal struct {
+	Ranks int
+	Force []runtime.ForcedSteal
 }
 
 // SimResult reports a simulated run.
@@ -151,6 +162,11 @@ type SimResult struct {
 	OverlapRatio  float64
 	InteriorTasks int
 	BorderTasks   int
+	// Work-stealing mirror counters, matching runtime.Result's fields of
+	// the same names (all zero without SimOptions.Steal).
+	StealsRemote  int
+	MigratedTasks int
+	MigratedBytes int
 	Sim           *desim.Result
 }
 
@@ -219,6 +235,20 @@ func Simulate(v Variant, cfg Config, opts SimOptions) (*SimResult, error) {
 		policy = desim.FIFO
 	}
 	fabric := netsim.NewFabric(opts.Machine.Net, part.Nodes())
+	var steal *desim.StealOpts
+	if opts.Steal != nil && len(opts.Steal.Force) > 0 {
+		nodes := part.Nodes()
+		ranks := opts.Steal.Ranks
+		force := make([]desim.ForcedSteal, len(opts.Steal.Force))
+		for i, f := range opts.Steal.Force {
+			force[i] = desim.ForcedSteal{Task: f.Task, Thief: f.Thief}
+		}
+		steal = &desim.StealOpts{
+			Ranks:  ranks,
+			RankOf: func(node int) int { return runtime.RankOfNode(node, nodes, ranks) },
+			Force:  force,
+		}
+	}
 	res, err := desim.Run(g, desim.Options{
 		Cores:      opts.Machine.ComputeCores(),
 		Cost:       CostModel(opts.Machine, opts.Ratio),
@@ -231,6 +261,7 @@ func Simulate(v Variant, cfg Config, opts SimOptions) (*SimResult, error) {
 		Recovery:   opts.Recovery,
 		Ctx:        opts.Ctx,
 		OnProgress: opts.OnProgress,
+		Steal:      steal,
 	})
 	if err != nil {
 		return nil, err
@@ -255,6 +286,9 @@ func Simulate(v Variant, cfg Config, opts SimOptions) (*SimResult, error) {
 		OverlapRatio:  res.OverlapRatio,
 		InteriorTasks: res.InteriorTasks,
 		BorderTasks:   res.BorderTasks,
+		StealsRemote:  res.StealsRemote,
+		MigratedTasks: res.MigratedTasks,
+		MigratedBytes: res.MigratedBytes,
 		Sim:           res,
 	}, nil
 }

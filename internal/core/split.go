@@ -284,6 +284,9 @@ func (p *splitPass) Apply(g *ptg.Graph) (*ptg.Graph, error) {
 				}
 				ct := orig
 				ct.Priority = orig.Priority + 1
+				// The commit task only merges partial buffers; its Run is not
+				// the original kernel, so the migration hooks don't apply.
+				ct.Mig = nil
 				ct.Hint = ptg.CostHint{Rows: inf.rows, Cols: inf.cols}
 				for _, d := range grid.AllDirs {
 					if depth, ok := b.flow(inf, d, t); ok {

@@ -74,6 +74,33 @@ type Options struct {
 	// roughly every 1/128th of the graph in between. Called from the
 	// single simulation goroutine.
 	OnProgress func(done, total int64)
+	// Steal, when non-nil, mirrors the real runtime's inter-node work
+	// stealing for a scripted (forced) migration schedule: each listed task
+	// executes on its thief rank's steal agent instead of a victim core,
+	// paying the migration transfers on the fabric. Forced schedules are the
+	// deterministic arm the sim==real parity tests exercise; the real
+	// engine's demand-driven (starvation-triggered) stealing is wall-clock
+	// dependent and has no virtual-time analogue.
+	Steal *StealOpts
+}
+
+// StealOpts configures the forced-migration mirror.
+type StealOpts struct {
+	// Ranks is the process count of the mirrored distributed run; RankOf
+	// maps a virtual node to its owning rank (runtime.RankOfNode in the
+	// mirrored run).
+	Ranks  int
+	RankOf func(node int) int
+	// Force lists the scripted migrations: task (by graph index) and the
+	// thief rank that executes it.
+	Force []ForcedSteal
+}
+
+// ForcedSteal scripts one migration. It intentionally duplicates the
+// runtime's type rather than importing it: desim depends only on the graph.
+type ForcedSteal struct {
+	Task  int32
+	Thief int
 }
 
 // Policy mirrors the real runtime's scheduling disciplines.
@@ -108,6 +135,13 @@ type Result struct {
 	OverlapRatio  float64
 	InteriorTasks int
 	BorderTasks   int
+	// Work-stealing mirror counters (all zero without Options.Steal),
+	// matching the real runtime.Result fields of the same names exactly:
+	// one steal per forced migration, MigratedBytes = sum of each migrated
+	// task's Mig.InBytes+OutBytes.
+	StealsRemote  int
+	MigratedTasks int
+	MigratedBytes int
 }
 
 // BundleFill returns the mean member transfers per bundle (0 when no
@@ -144,6 +178,10 @@ const (
 	// never inflates the NIC horizons seen by earlier traffic.
 	evSendMsg
 	evSendBundle
+	// evStealReturn completes a forced migration: the thief's results frame
+	// arrived back at the victim and the task commits there (no core was
+	// occupied on either side — the thief executes on its steal agent).
+	evStealReturn
 )
 
 type event struct {
@@ -248,6 +286,97 @@ type sim struct {
 	innerIv       []trace.Span
 	interiorTasks int
 	borderTasks   int
+	// Forced-migration mirror state (nil/empty without Options.Steal):
+	// forced maps a task index to its thief rank, rankNode each rank to its
+	// first owned node (the endpoint its steal frames travel through), and
+	// agentFree each rank's single steal agent to its next idle time.
+	forced    map[int32]int
+	rankNode  []int32
+	agentFree []time.Duration
+	migDone   int
+	migBytes  int
+}
+
+// stealInit validates and arms the forced-migration mirror.
+func (s *sim) stealInit() error {
+	so := s.opts.Steal
+	if so == nil || len(so.Force) == 0 {
+		return nil
+	}
+	if so.Ranks < 2 || so.RankOf == nil {
+		return fmt.Errorf("desim: Steal needs Ranks >= 2 and a RankOf placement")
+	}
+	if s.opts.Fabric == nil {
+		return fmt.Errorf("desim: Steal requires a Fabric")
+	}
+	s.rankNode = make([]int32, so.Ranks)
+	for r := range s.rankNode {
+		s.rankNode[r] = -1
+	}
+	for n := 0; n < s.g.NumNodes; n++ {
+		r := so.RankOf(n)
+		if r < 0 || r >= so.Ranks {
+			return fmt.Errorf("desim: RankOf(%d) = %d out of range [0,%d)", n, r, so.Ranks)
+		}
+		if s.rankNode[r] < 0 {
+			s.rankNode[r] = int32(n)
+		}
+	}
+	s.forced = make(map[int32]int, len(so.Force))
+	s.agentFree = make([]time.Duration, so.Ranks)
+	for _, f := range so.Force {
+		if f.Task < 0 || int(f.Task) >= len(s.g.Tasks) {
+			return fmt.Errorf("desim: forced steal task %d out of range", f.Task)
+		}
+		t := &s.g.Tasks[f.Task]
+		if t.Mig == nil {
+			return fmt.Errorf("desim: forced steal task %d is not migratable", f.Task)
+		}
+		if f.Thief < 0 || f.Thief >= so.Ranks {
+			return fmt.Errorf("desim: forced steal thief rank %d out of range [0,%d)", f.Thief, so.Ranks)
+		}
+		if f.Thief == so.RankOf(int(t.Node)) {
+			return fmt.Errorf("desim: forced steal task %d already lives on rank %d", f.Task, f.Thief)
+		}
+		if s.rankNode[f.Thief] < 0 {
+			return fmt.Errorf("desim: thief rank %d owns no nodes", f.Thief)
+		}
+		if _, dup := s.forced[f.Task]; dup {
+			return fmt.Errorf("desim: task %d forced twice", f.Task)
+		}
+		s.forced[f.Task] = f.Thief
+	}
+	return nil
+}
+
+// migrate mirrors one forced migration in virtual time: the victim's steal
+// agent ships the task's inputs to the thief rank's agent, which executes it
+// off-core (one agent per rank, so back-to-back migrations to one thief
+// serialize) and ships the results back; the task commits at the victim when
+// the return frame lands. Ack frames are modeled free, like data acks.
+func (s *sim) migrate(idx int32, thief int, at time.Duration) {
+	t := &s.g.Tasks[idx]
+	victimNode := int(t.Node)
+	thiefNode := int(s.rankNode[thief])
+	arrive := s.opts.Fabric.SendSteal(victimNode, thiefNode, t.Mig.InBytes, at)
+	start := arrive
+	if s.agentFree[thief] > start {
+		start = s.agentFree[thief]
+	}
+	d := s.opts.Cost(t)
+	if d < 0 {
+		d = 0
+	}
+	end := start + d
+	s.agentFree[thief] = end
+	back := s.opts.Fabric.SendSteal(thiefNode, victimNode, t.Mig.OutBytes, end)
+	if s.opts.Trace != nil && (s.opts.TraceNode < 0 || s.opts.TraceNode == t.Node) {
+		s.opts.Trace.Record(trace.Event{
+			ID: t.ID, Kind: t.Kind, Node: t.Node, Core: int32(s.opts.Cores), Start: start, End: end, Stolen: true,
+		})
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: back, seq: s.seq, kind: evStealReturn, task: idx, node: t.Node})
 }
 
 // Run simulates the graph and returns the makespan and statistics.
@@ -291,6 +420,9 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 		}
 	}
 	if err := s.faultInit(); err != nil {
+		return nil, err
+	}
+	if err := s.stealInit(); err != nil {
 		return nil, err
 	}
 	if err := s.planBundles(); err != nil {
@@ -344,6 +476,17 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 			s.sendMsg(ev.task, ev.core, ev.at)
 		case evSendBundle:
 			s.sendBundleAt(ev.task, ev.at)
+		case evStealReturn:
+			if ev.at > makespan {
+				makespan = ev.at
+			}
+			s.done++
+			s.migDone++
+			s.migBytes += s.g.Tasks[ev.task].Mig.InBytes + s.g.Tasks[ev.task].Mig.OutBytes
+			if opts.OnProgress != nil && (s.done%progressEvery == 0 || s.done == len(g.Tasks)) {
+				opts.OnProgress(int64(s.done), int64(len(g.Tasks)))
+			}
+			s.release(ev.task, ev.at)
 		}
 	}
 	if s.ferr != nil {
@@ -374,6 +517,9 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 		res.InteriorTasks = s.interiorTasks
 		res.BorderTasks = s.borderTasks
 	}
+	res.StealsRemote = s.migDone
+	res.MigratedTasks = s.migDone
+	res.MigratedBytes = s.migBytes
 	return res, nil
 }
 
@@ -408,6 +554,10 @@ func (s *sim) planBundles() error {
 
 // taskReady is called when a task's last input arrived at time at.
 func (s *sim) taskReady(idx int32, at time.Duration) {
+	if thief, ok := s.forced[idx]; ok {
+		s.migrate(idx, thief, at)
+		return
+	}
 	t := &s.g.Tasks[idx]
 	nd := s.nodes[t.Node]
 	if len(nd.idleCores) > 0 {

@@ -34,7 +34,7 @@ func sameMsg(a, b runtime.Message) bool {
 func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add(uint32(1), int32(0), int32(1), int32(7), int32(-1), int32(0), uint64(42), false, int32(0), int64(12345), []byte("halo"))
 	f.Add(uint32(0), int32(3), int32(2), int32(0), int32(9), int32(5), uint64(0), true, int32(3), int64(-1), []byte{})
-	f.Add(uint32(7), int32(-2), int32(-3), int32(1 << 20), int32(99), int32(-5), uint64(1<<63), false, int32(-1), int64(1<<40), bytes.Repeat([]byte{0xAB}, 300))
+	f.Add(uint32(7), int32(-2), int32(-3), int32(1<<20), int32(99), int32(-5), uint64(1<<63), false, int32(-1), int64(1<<40), bytes.Repeat([]byte{0xAB}, 300))
 	f.Fuzz(func(t *testing.T, epoch uint32, src, dst, task, dep, bundle int32, seq uint64, ack bool, attempt int32, sentNanos int64, payload []byte) {
 		m := runtime.Message{
 			Src: src, Dst: dst, Task: task, Dep: dep, Bundle: bundle,

@@ -260,6 +260,68 @@ func (l *lane) sendData(epoch uint32, m runtime.Message) error {
 	}
 }
 
+// sendSteal ships one steal-protocol message on the persistent connection,
+// with sendData's exact block-until-up and retry-on-reconnect discipline.
+// Steal frames are accounted separately (Stats.StealFramesSent/StealBytesSent
+// and the "wire:steal" trace class) so migration traffic never pollutes the
+// halo-exchange wire numbers, but they also count in the general frame/byte
+// totals — they are real bytes on the same socket.
+func (l *lane) sendSteal(epoch uint32, m runtime.StealMsg) error {
+	tr := l.t.tr
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.dead != nil {
+			return l.dead
+		}
+		if l.t.closed.Load() {
+			return errClosed
+		}
+		c := l.conn
+		if c == nil {
+			l.cond.Wait()
+			continue
+		}
+		var start time.Time
+		if tr != nil {
+			start = time.Now()
+		}
+		n := putStealHeader(l.hdr[:], epoch, m)
+		var err error
+		if len(m.Data) == 0 {
+			_, err = c.Write(l.hdr[:n])
+		} else {
+			l.bufArr[0] = l.hdr[:n]
+			l.bufArr[1] = m.Data
+			l.bufs = net.Buffers(l.bufArr[:])
+			_, err = l.bufs.WriteTo(c)
+			l.bufArr[1] = nil // do not retain the payload past the send
+		}
+		if err != nil {
+			l.noteDropLocked(c, err)
+			continue
+		}
+		wire := n + len(m.Data)
+		l.t.framesSent.Add(1)
+		l.t.bytesSent.Add(int64(wire))
+		l.t.stealFramesSent.Add(1)
+		l.t.stealBytesSent.Add(int64(wire))
+		if nm := l.t.nm; nm != nil {
+			nm.framesSent.Inc()
+			nm.bytesSent.Add(int64(wire))
+		}
+		if tr != nil {
+			t0 := l.t.runT0()
+			tr.Record(trace.Event{
+				ID:   ptg.TaskID{Class: "wire:steal", I: l.t.rank, J: l.peer, K: int(m.Task)},
+				Kind: ptg.KindComm, Node: int32(l.t.rank), Core: 0,
+				Start: start.Sub(t0), End: time.Since(t0), Msgs: 1, Bytes: wire,
+			})
+		}
+		return nil
+	}
+}
+
 // sendBytes writes a pre-encoded frame (hello/ctl — cold path) with the same
 // block-until-up discipline as sendData.
 func (l *lane) sendBytes(b []byte) error {

@@ -70,13 +70,17 @@ type binding struct {
 	fail     func(error)
 }
 
-// Stats is a snapshot of the transport's wire counters.
+// Stats is a snapshot of the transport's wire counters. Steal frames count
+// in both the general totals and the Steal* breakdown, so halo-only traffic
+// is FramesSent-StealFramesSent.
 type Stats struct {
-	FramesSent, FramesRecv int64
-	BytesSent, BytesRecv   int64
-	Reconnects             int64
-	Dials                  int64
-	StaleFrames            int64
+	FramesSent, FramesRecv           int64
+	BytesSent, BytesRecv             int64
+	StealFramesSent, StealFramesRecv int64
+	StealBytesSent, StealBytesRecv   int64
+	Reconnects                       int64
+	Dials                            int64
+	StaleFrames                      int64
 }
 
 // Transport implements runtime.Conduit over TCP. Construct with Connect; one
@@ -91,9 +95,10 @@ type Transport struct {
 	deadline time.Duration
 	maxFrame int
 
-	epoch atomic.Uint32
-	bind  atomic.Pointer[binding]
-	col   *collectives
+	epoch     atomic.Uint32
+	bind      atomic.Pointer[binding]
+	stealBind atomic.Pointer[func(runtime.StealMsg)]
+	col       *collectives
 
 	jobs    chan []byte
 	closed  atomic.Bool
@@ -104,10 +109,12 @@ type Transport struct {
 	tr *trace.Trace
 	nm *netMetrics
 
-	framesSent, framesRecv atomic.Int64
-	bytesSent, bytesRecv   atomic.Int64
-	reconnects, dials      atomic.Int64
-	staleFrames            atomic.Int64
+	framesSent, framesRecv           atomic.Int64
+	bytesSent, bytesRecv             atomic.Int64
+	stealFramesSent, stealFramesRecv atomic.Int64
+	stealBytesSent, stealBytesRecv   atomic.Int64
+	reconnects, dials                atomic.Int64
+	staleFrames                      atomic.Int64
 }
 
 // Connect establishes the full mesh for Options.Rank: it listens on its own
@@ -330,6 +337,34 @@ func (t *Transport) dispatch(l *lane, f Frame, sr *stampReader) {
 		t.nm.framesRecv.Inc()
 		t.nm.bytesRecv.Add(int64(wire))
 	}
+	if stealFrame(f.Kind) {
+		t.stealFramesRecv.Add(1)
+		t.stealBytesRecv.Add(int64(wire))
+		if sr != nil {
+			t0 := t.runT0()
+			peer := -1
+			if l != nil {
+				peer = l.peer
+			}
+			t.tr.Record(trace.Event{
+				ID:   ptg.TaskID{Class: "wire:steal", I: peer, J: t.rank, K: int(f.Steal.Task)},
+				Kind: ptg.KindComm, Node: int32(t.rank), Core: 0,
+				Start: sr.stamp.Sub(t0), End: time.Since(t0), Msgs: 1, Bytes: wire,
+			})
+		}
+		h := t.stealBind.Load()
+		if f.Epoch != t.epoch.Load() || h == nil {
+			// Stale epoch, or no steal-enabled run is bound (e.g. a retransmit
+			// straggling past the drain barrier). Drop, recycling the payload.
+			t.staleFrames.Add(1)
+			if f.Steal.Data != nil {
+				runtime.PutBuf(f.Steal.Data)
+			}
+			return
+		}
+		(*h)(f.Steal)
+		return
+	}
 	switch f.Kind {
 	case kindData:
 		if sr != nil {
@@ -389,10 +424,12 @@ func (t *Transport) dispatch(l *lane, f Frame, sr *stampReader) {
 // frameBodyLen reconstructs the body length of a decoded frame for byte
 // accounting.
 func frameBodyLen(f Frame) int {
-	switch f.Kind {
-	case kindData:
+	switch {
+	case f.Kind == kindData:
 		return dataHdrLen + len(f.Msg.Data)
-	case kindHello:
+	case stealFrame(f.Kind):
+		return stealHdrLen + len(f.Steal.Data)
+	case f.Kind == kindHello:
 		return helloLen
 	default:
 		return 5 + len(f.Ctl.Tag) + len(f.Ctl.Payload)
@@ -490,6 +527,28 @@ func (t *Transport) Send(m runtime.Message) error {
 		return t.sendPerMessage(l, ep, m)
 	}
 	return l.sendData(ep, m)
+}
+
+// SendSteal ships a steal-protocol message to the given rank
+// (runtime.StealConduit). Steal frames always ride the persistent lane, even
+// in per-message mode: the protocol is latency-bound control traffic, and the
+// retransmit layer above assumes FIFO delivery per rank pair.
+func (t *Transport) SendSteal(dst int, m runtime.StealMsg) error {
+	if dst < 0 || dst >= len(t.addrs) || dst == t.rank {
+		return fmt.Errorf("netcomm: steal frame for invalid rank %d", dst)
+	}
+	return t.lanes[dst].sendSteal(t.epoch.Load(), m)
+}
+
+// BindSteal installs (or, with nil, removes) the handler inbound steal frames
+// are delivered to (runtime.StealConduit). The handler runs on the lane's
+// reader goroutine and must not block; it owns m.Data.
+func (t *Transport) BindSteal(h func(runtime.StealMsg)) {
+	if h == nil {
+		t.stealBind.Store(nil)
+		return
+	}
+	t.stealBind.Store(&h)
 }
 
 // sendPerMessage is the ablation's non-persistent data path: dial, hello,
@@ -626,13 +685,17 @@ func (t *Transport) Connected() (up, want int) {
 // Stats snapshots the wire counters.
 func (t *Transport) Stats() Stats {
 	return Stats{
-		FramesSent:  t.framesSent.Load(),
-		FramesRecv:  t.framesRecv.Load(),
-		BytesSent:   t.bytesSent.Load(),
-		BytesRecv:   t.bytesRecv.Load(),
-		Reconnects:  t.reconnects.Load(),
-		Dials:       t.dials.Load(),
-		StaleFrames: t.staleFrames.Load(),
+		FramesSent:      t.framesSent.Load(),
+		FramesRecv:      t.framesRecv.Load(),
+		BytesSent:       t.bytesSent.Load(),
+		BytesRecv:       t.bytesRecv.Load(),
+		StealFramesSent: t.stealFramesSent.Load(),
+		StealFramesRecv: t.stealFramesRecv.Load(),
+		StealBytesSent:  t.stealBytesSent.Load(),
+		StealBytesRecv:  t.stealBytesRecv.Load(),
+		Reconnects:      t.reconnects.Load(),
+		Dials:           t.dials.Load(),
+		StaleFrames:     t.staleFrames.Load(),
 	}
 }
 

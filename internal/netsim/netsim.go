@@ -66,6 +66,12 @@ type Fabric struct {
 	// fill — the aggregation factor the coalescing optimization achieves.
 	Bundles  int
 	Segments int
+	// MigMsgs and MigBytes count work-stealing migration transfers (task
+	// state out, results back). They are deliberately NOT folded into
+	// Messages/BytesSent: the real engine keeps steal frames out of its halo
+	// message counters too, so sim==real parity holds for both families.
+	MigMsgs  int
+	MigBytes int
 }
 
 // NewFabric creates a fabric connecting n nodes with the given network model.
@@ -137,6 +143,38 @@ func (f *Fabric) SendBundle(src, dst int, bytes, segments int, ready time.Durati
 	return done
 }
 
+// SendSteal schedules one work-stealing migration transfer (task inputs
+// toward the thief, or results back toward the victim). The NIC math is
+// exactly Send's — the frames ride the same comm threads and wire — but the
+// traffic is accounted in MigMsgs/MigBytes instead of Messages/BytesSent,
+// mirroring the real transport's separate steal-frame counters.
+func (f *Fabric) SendSteal(src, dst int, bytes int, ready time.Duration) time.Duration {
+	if src == dst {
+		return ready
+	}
+	f.MigMsgs++
+	f.MigBytes += bytes
+	ser := f.Serialization(bytes)
+
+	start := ready
+	if f.commFree[src] > start {
+		start = f.commFree[src]
+	}
+	injected := start + ser
+	f.commFree[src] = injected
+	f.commBusy[src] += ser
+
+	arrival := injected + f.net.Latency
+	recvStart := arrival
+	if f.commFree[dst] > recvStart {
+		recvStart = f.commFree[dst]
+	}
+	done := recvStart + ser
+	f.commFree[dst] = done
+	f.commBusy[dst] += ser
+	return done
+}
+
 // SendDropped charges a transmission that leaves src but never reaches its
 // destination — a fault-injected drop. The sender NIC pays full
 // serialization (the bytes left the node) and the message counts as wire
@@ -184,6 +222,8 @@ func (f *Fabric) Reset() {
 	f.BytesSent = 0
 	f.Bundles = 0
 	f.Segments = 0
+	f.MigMsgs = 0
+	f.MigBytes = 0
 }
 
 func (f *Fabric) String() string {

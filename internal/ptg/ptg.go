@@ -139,6 +139,34 @@ type Dep struct {
 	Unpack   func(env Env, data []byte)
 }
 
+// Migration makes a task stealable across ranks of a distributed run: it
+// describes how to serialize the task's entire input state out of its home
+// node's store (PackIn), materialize it on a remote rank (Deposit), ship the
+// results back (PackOut) and install them at home exactly as a local
+// execution would have (Commit). A task with a nil Mig never migrates.
+//
+// InBytes and OutBytes are the exact payload sizes PackIn and PackOut
+// produce; they are populated even on cost-only graphs so the virtual-time
+// engine prices migrations identically to the real one.
+type Migration struct {
+	InBytes  int
+	OutBytes int
+	// PackIn serializes the task's input state (tile contents plus every
+	// already-delivered input payload, which it consumes) from the home
+	// store. Runs on the victim rank before the task leaves.
+	PackIn func(env Env) []byte
+	// Deposit installs a PackIn payload into the thief rank's store for the
+	// task's node, creating state as needed, so Run can execute unchanged.
+	Deposit func(env Env, data []byte)
+	// PackOut serializes (and consumes) everything Run produced on the
+	// thief: the post-step tile contents and every output payload.
+	PackOut func(env Env) []byte
+	// Commit installs a PackOut payload into the home store — after it the
+	// store is bitwise-identical to a local execution's, and the task's
+	// successors may be released.
+	Commit func(env Env, data []byte)
+}
+
 // Task is one node of the graph.
 type Task struct {
 	ID       TaskID
@@ -155,6 +183,10 @@ type Task struct {
 	Deps  []Dep
 	Succs []int32 // consumer task indices, filled by Build
 	Run   func(env Env)
+	// Mig, when non-nil, lets a distributed run migrate this task to
+	// another rank (see Migration). Kept out of the hot path: engines only
+	// consult it on the steal protocol's slow path.
+	Mig *Migration
 }
 
 // Graph is an immutable task graph over a fixed set of nodes.

@@ -200,6 +200,9 @@ type distStats struct {
 	Dropped        int64       `json:"dropped"`
 	InteriorTasks  int64       `json:"interior_tasks"`
 	BorderTasks    int64       `json:"border_tasks"`
+	StealsRemote   int64       `json:"steals_remote"`
+	MigratedTasks  int64       `json:"migrated_tasks"`
+	MigratedBytes  int64       `json:"migrated_bytes"`
 	Fault          fault.Stats `json:"fault"`
 	NodeTasks      []int       `json:"node_tasks"`
 	NodeBusy       []int64     `json:"node_busy"`
@@ -222,6 +225,9 @@ func (ex *executor) distExchangeStats(res *Result) error {
 		Dropped:        ex.dropped.Load(),
 		InteriorTasks:  int64(res.InteriorTasks),
 		BorderTasks:    int64(res.BorderTasks),
+		StealsRemote:   int64(res.StealsRemote),
+		MigratedTasks:  int64(res.MigratedTasks),
+		MigratedBytes:  int64(res.MigratedBytes),
 		Fault:          res.Fault,
 		NodeTasks:      res.NodeTasks,
 		NodeLocalHits:  res.NodeLocalHits,
@@ -259,6 +265,9 @@ func (ex *executor) distExchangeStats(res *Result) error {
 		res.Dropped += int(s.Dropped)
 		res.InteriorTasks += int(s.InteriorTasks)
 		res.BorderTasks += int(s.BorderTasks)
+		res.StealsRemote += int(s.StealsRemote)
+		res.MigratedTasks += int(s.MigratedTasks)
+		res.MigratedBytes += int(s.MigratedBytes)
 		res.Fault.Add(s.Fault)
 		for i := range res.NodeTasks {
 			if i < len(s.NodeTasks) {

@@ -125,6 +125,14 @@ type Options struct {
 	// after a successful run rank 0's Result carries the globally summed
 	// counters, and only local nodes' Stores hold data.
 	Dist *Dist
+	// Steal, when non-nil and active, enables inter-node work stealing on a
+	// distributed run (see steal.go): starving ranks migrate ready tasks —
+	// with their input tiles — from data-affine peers over the conduit's
+	// steal frames. Requires Dist and a conduit implementing StealConduit.
+	// Every rank must be configured with the same policy. Migration never
+	// changes numerics: the final grid is bitwise-identical to a run
+	// without stealing.
+	Steal *StealPolicy
 }
 
 // Result summarizes a completed execution.
@@ -168,6 +176,15 @@ type Result struct {
 	OverlapRatio  float64
 	InteriorTasks int
 	BorderTasks   int
+	// Inter-node work stealing (all zero without an active Options.Steal).
+	// StealsRemote counts migrated tasks this rank executed for a peer;
+	// MigratedTasks counts tasks this rank shipped out, MigratedBytes the
+	// wire bytes their migration round trips moved (input state + results).
+	// After the distributed epilogue rank 0 holds the global sums; steal
+	// traffic is never folded into Messages/BytesSent.
+	StealsRemote  int
+	MigratedTasks int
+	MigratedBytes int
 }
 
 // BundleFill returns the average number of member payloads per coalesced
@@ -291,6 +308,17 @@ type executor struct {
 	commStop   chan struct{}
 	commClosed atomic.Bool
 
+	// Inter-node work stealing (see steal.go; all nil/zero unless
+	// Options.Steal is active). stealAvg[n] is a per-node EWMA of task
+	// nanos feeding the cost gate; the three counters are the migration
+	// accounting behind Result.StealsRemote/MigratedTasks/MigratedBytes.
+	agent         *stealAgent
+	forcedSteal   map[int32]int
+	stealAvg      []atomic.Int64
+	stealsRemote  atomic.Int64
+	migratedTasks atomic.Int64
+	migratedBytes atomic.Int64
+
 	messages       atomic.Int64
 	bytesSent      atomic.Int64
 	bundlesSent    atomic.Int64
@@ -389,6 +417,13 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 		ex.reliable = true
 		ex.rec = opts.Recovery.WithDefaults()
 	}
+	if opts.Steal.active() {
+		ag, err := newStealAgent(ex)
+		if err != nil {
+			return nil, err
+		}
+		ex.agent = ag
+	}
 	if err := ex.planBundles(); err != nil {
 		return nil, err
 	}
@@ -475,7 +510,15 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 		if err := ex.dist.Net.Bind(g.NumNodes, ex.deliver, ex.fail); err != nil {
 			return nil, err
 		}
+		if ex.agent != nil {
+			// Steal frames must have a handler before any peer can probe:
+			// bound before the start barrier, like the data path.
+			ex.agent.sc.BindSteal(ex.agent.inject)
+		}
 		if err := ex.dist.Net.Barrier("start"); err != nil {
+			if ex.agent != nil {
+				ex.agent.sc.BindSteal(nil)
+			}
 			ex.dist.Net.Unbind()
 			return nil, err
 		}
@@ -515,6 +558,10 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 		}
 		wg.Add(1)
 		go ex.comm(nd, &wg)
+	}
+	if ex.agent != nil {
+		wg.Add(1)
+		go ex.agent.run(&wg)
 	}
 
 	// Seed the local roots.
@@ -603,6 +650,9 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 		NodeSteals:     make([]int, g.NumNodes),
 		NodeParks:      make([]int, g.NumNodes),
 		Fault:          ex.faultStats(),
+		StealsRemote:   int(ex.stealsRemote.Load()),
+		MigratedTasks:  int(ex.migratedTasks.Load()),
+		MigratedBytes:  int(ex.migratedBytes.Load()),
 	}
 	for n := 0; n < g.NumNodes; n++ {
 		res.NodeTasks[n] = int(ex.nodeTasks[n].Load())
@@ -628,6 +678,9 @@ func Run(g *ptg.Graph, opts Options) (*Result, error) {
 			if gerr := ex.distExchangeStats(res); gerr != nil {
 				err = gerr
 			}
+		}
+		if ex.agent != nil {
+			ex.agent.sc.BindSteal(nil)
 		}
 		ex.dist.Net.Unbind()
 	}
@@ -668,8 +721,12 @@ func (ex *executor) finish() {
 	}
 }
 
-// enqueue makes a task ready on its owning node.
+// enqueue makes a task ready on its owning node (or diverts it to the steal
+// agent when it is pinned to a remote thief).
 func (ex *executor) enqueue(idx int32) {
+	if ex.divert(idx) {
+		return
+	}
 	t := &ex.g.Tasks[idx]
 	nd := ex.nodes[t.Node]
 	nd.mu.Lock()
@@ -682,6 +739,17 @@ func (ex *executor) enqueue(idx int32) {
 // acquisition — the batched successor release that keeps per-task lock
 // traffic at one queue-push critical section per completion.
 func (ex *executor) enqueueBatch(nd *execNode, tasks []int32) {
+	if ex.forcedSteal != nil {
+		kept := tasks[:0]
+		for _, idx := range tasks {
+			if !ex.divert(idx) {
+				kept = append(kept, idx)
+			}
+		}
+		if tasks = kept; len(tasks) == 0 {
+			return
+		}
+	}
 	nd.mu.Lock()
 	for _, idx := range tasks {
 		nd.queue.push(idx, ex.g.Tasks[idx].Priority)
@@ -716,6 +784,7 @@ func (ex *executor) worker(nd *execNode, core int32, wg *sync.WaitGroup) {
 		nd.mu.Lock()
 		if nd.queue.size() == 0 && !ex.done.Load() {
 			nd.parks.Add(1)
+			ex.noteStarve()
 			for nd.queue.size() == 0 && !ex.done.Load() {
 				nd.cond.Wait()
 			}
@@ -767,6 +836,7 @@ func (ex *executor) workerSteal(nd *execNode, core int32) {
 				nd.mu.Lock()
 				if nd.wakeSeq == seq && nd.queue.size() == 0 && !ex.done.Load() {
 					nd.parks.Add(1)
+					ex.noteStarve()
 					for nd.wakeSeq == seq && nd.queue.size() == 0 && !ex.done.Load() {
 						nd.cond.Wait()
 					}
@@ -823,6 +893,15 @@ func (ex *executor) runTask(nd *execNode, core int32, idx int32, stolen bool, re
 	end := time.Since(ex.t0)
 	completed := ex.nodeTasks[nd.id].Add(1)
 	ex.nodeBusy[nd.id].Add(int64(end - start))
+	if ex.stealAvg != nil {
+		// EWMA of task duration, feeding the steal cost gate. Racy
+		// read-modify-write is fine: it is a smoothed estimate.
+		d := int64(end - start)
+		if old := ex.stealAvg[nd.id].Load(); old > 0 {
+			d = old + (d-old)/8
+		}
+		ex.stealAvg[nd.id].Store(d)
+	}
 	if ex.overlapOn {
 		switch t.Kind {
 		case ptg.KindInner:
@@ -843,31 +922,7 @@ func (ex *executor) runTask(nd *execNode, core int32, idx int32, stolen bool, re
 		})
 	}
 
-	// Release successors: local deps are satisfied directly (newly ready
-	// tasks batched into one queue push below), cross-node deps are handed
-	// to the communication goroutine. Under coalescing a cross dep only
-	// decrements its bundle's countdown; the completion that zeroes it
-	// posts one send request for the whole bundle.
-	for _, sIdx := range t.Succs {
-		s := &ex.g.Tasks[sIdx]
-		for dIdx := range s.Deps {
-			if s.Deps[dIdx].Producer != idx {
-				continue
-			}
-			if s.Node == t.Node {
-				if atomic.AddInt32(&ex.pending[sIdx], -1) == 0 {
-					ready = append(ready, sIdx)
-				}
-			} else if ex.depBundle != nil && ex.depBundle[sIdx][dIdx] >= 0 {
-				bi := ex.depBundle[sIdx][dIdx]
-				if ex.bundles[bi].remaining.Add(-1) == 0 {
-					nd.sendQ <- sendReq{bundle: bi + 1}
-				}
-			} else {
-				nd.sendQ <- sendReq{task: sIdx, dep: int32(dIdx)}
-			}
-		}
-	}
+	ready = ex.releaseSuccs(nd, idx, ready)
 	if len(ready) > 0 {
 		if ex.steal {
 			// Locality-first successor placement: newly-ready local
@@ -890,6 +945,48 @@ func (ex *executor) runTask(nd *execNode, core int32, idx int32, stolen bool, re
 		}
 	}
 
+	ex.completeTask()
+	return ready
+}
+
+// releaseSuccs releases a completed task's successors: local deps are
+// satisfied directly (newly ready tasks appended to ready, unless pinned to
+// a remote thief — those divert to the steal agent), cross-node deps are
+// handed to the communication goroutine. Under coalescing a cross dep only
+// decrements its bundle's countdown; the completion that zeroes it posts one
+// send request for the whole bundle. Shared by runTask and the migration
+// commit.
+func (ex *executor) releaseSuccs(nd *execNode, idx int32, ready []int32) []int32 {
+	t := &ex.g.Tasks[idx]
+	for _, sIdx := range t.Succs {
+		s := &ex.g.Tasks[sIdx]
+		for dIdx := range s.Deps {
+			if s.Deps[dIdx].Producer != idx {
+				continue
+			}
+			if s.Node == t.Node {
+				if atomic.AddInt32(&ex.pending[sIdx], -1) == 0 {
+					if ex.divert(sIdx) {
+						continue
+					}
+					ready = append(ready, sIdx)
+				}
+			} else if ex.depBundle != nil && ex.depBundle[sIdx][dIdx] >= 0 {
+				bi := ex.depBundle[sIdx][dIdx]
+				if ex.bundles[bi].remaining.Add(-1) == 0 {
+					nd.sendQ <- sendReq{bundle: bi + 1}
+				}
+			} else {
+				nd.sendQ <- sendReq{task: sIdx, dep: int32(dIdx)}
+			}
+		}
+	}
+	return ready
+}
+
+// completeTask advances the run's completion counters — the tail shared by
+// runTask and the migration commit.
+func (ex *executor) completeTask() {
 	done := ex.completed.Add(1)
 	if ex.opts.OnProgress != nil && (done%ex.progressEvery == 0 || done == ex.total) {
 		ex.opts.OnProgress(done, ex.total)
@@ -897,7 +994,6 @@ func (ex *executor) runTask(nd *execNode, core int32, idx int32, stolen bool, re
 	if done == ex.total {
 		ex.finish()
 	}
-	return ready
 }
 
 // comm is the per-node communication goroutine: it serializes outgoing

@@ -101,7 +101,10 @@ func (m *Manager) runBroadcast(ctx context.Context, t *castencil.NetTransport, p
 				j.progDone.Store(done)
 				j.progTotal.Store(total)
 			}),
-			castencil.WithTransport(t),
+			castencil.WithCluster(castencil.ClusterOptions{
+				Transport: t,
+				Steal:     castencil.StealPolicy{Mode: b.steal, Machine: b.machine},
+			}),
 		}
 		if b.schedSet {
 			opts = append(opts, castencil.WithSched(b.sched), castencil.WithPolicy(b.policy))

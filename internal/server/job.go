@@ -127,6 +127,12 @@ type Spec struct {
 	// mesh size, needs the real engine, and is only accepted by rank 0.
 	// 0 (the default) runs single-process.
 	Ranks int `json:"ranks,omitempty"`
+	// Steal selects the inter-node work-stealing policy of a distributed
+	// job: "off" (default), "greedy", or "gated". Validated at admission
+	// with the same parser the -steal flag uses; anything but off needs
+	// Ranks. The broadcast spec carries the raw string, so every rank
+	// resolves the identical policy.
+	Steal string `json:"steal,omitempty"`
 
 	Priority string `json:"priority,omitempty"`
 	// TimeoutMS is the job's run deadline in milliseconds (0 = the
@@ -154,6 +160,7 @@ type buildSpec struct {
 	machine  *castencil.Machine
 	ratio    float64
 	ranks    int
+	steal    castencil.StealMode
 }
 
 // build validates the spec and resolves every string knob through the same
@@ -259,6 +266,12 @@ func (s Spec) build() (*buildSpec, error) {
 		}
 	}
 	b.ranks = s.Ranks
+	if b.steal, err = castencil.ParseSteal(s.Steal); err != nil {
+		return nil, err
+	}
+	if b.steal != castencil.StealOff && s.Ranks == 0 {
+		return nil, fmt.Errorf("server: steal=%q needs a distributed job (ranks >= 2)", s.Steal)
+	}
 	machineName := s.Machine
 	if machineName == "" {
 		machineName = "NaCL"

@@ -427,7 +427,10 @@ func (m *Manager) runJob(j *Job) {
 				m.finishJob(j, err)
 				return
 			}
-			opts = append(opts, castencil.WithTransport(m.cfg.Transport))
+			opts = append(opts, castencil.WithCluster(castencil.ClusterOptions{
+				Transport: m.cfg.Transport,
+				Steal:     castencil.StealPolicy{Mode: b.steal, Machine: b.machine},
+			}))
 		}
 		m.execReal(j, variant, cfg, opts)
 	}

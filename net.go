@@ -28,6 +28,11 @@ type Conduit = runtime.Conduit
 type NetTransport = netcomm.Transport
 
 // NetOptions configures NetConnect.
+//
+// Deprecated: for per-run distribution use
+// WithCluster(ClusterOptions{Rank: ..., Ranks: ...}); NetOptions remains
+// for long-lived processes that tune the transport (listener reuse,
+// per-message mode, metrics) before handing it to WithCluster.
 type NetOptions = netcomm.Options
 
 // NetMetricsRegistry is the metrics registry type NetOptions.Metrics
@@ -38,6 +43,12 @@ type NetMetricsRegistry = metrics.Registry
 // full static member list, identical on every rank) and blocks until every
 // rank pair is connected. Close the returned transport when done;
 // o.Rank/o.Addrs are taken from the arguments.
+//
+// Deprecated: one-shot runs should pass membership directly with
+// WithCluster(ClusterOptions{Rank: rank, Ranks: addrs}) and let Run manage
+// the mesh. NetConnect remains the explicit connection path for processes
+// that reuse one mesh across many runs (pass the transport via
+// ClusterOptions.Transport) — results are bitwise identical either way.
 func NetConnect(rank int, addrs []string, o NetOptions) (*NetTransport, error) {
 	o.Rank, o.Addrs = rank, addrs
 	return netcomm.Connect(o)

@@ -126,6 +126,12 @@ type RunOptions struct {
 	// run instead of connecting per run (stencild and the bench harness
 	// keep one mesh across many jobs). Overrides RankAddrs.
 	Conduit Conduit
+	// Steal configures inter-node work stealing for a distributed run
+	// (zero value = off). Requires a transport implementing steal frames
+	// (the TCP conduit does). In Sim, forced migrations are mirrored in
+	// virtual time; dynamic modes have no virtual-time analogue and are
+	// ignored.
+	Steal StealPolicy
 	// Ctx bounds the run on either engine: a cancelled or deadline-exceeded
 	// context stops workers and communication goroutines promptly (task
 	// granularity) and the run returns a *CancelError wrapping the context
@@ -220,6 +226,11 @@ func WithTransform(m TransformMode) Option { return func(o *RunOptions) { o.Tran
 // one persistent TCP lane per rank pair — runs this rank's slice of the
 // graph, and closes the mesh when the run returns. See DESIGN.md
 // ("Distributed transport") for the wire protocol and failure semantics.
+//
+// Deprecated: use WithCluster(ClusterOptions{Rank: rank, Ranks: addrs}) —
+// the unified distribution option, bitwise-equivalent for these settings
+// and the only surface carrying the newer cluster knobs (work stealing,
+// recovery).
 func WithRanks(rank int, addrs []string) Option {
 	return func(o *RunOptions) { o.Rank, o.RankAddrs = rank, addrs }
 }
@@ -227,6 +238,9 @@ func WithRanks(rank int, addrs []string) Option {
 // WithTransport runs distributed over an already-connected transport (see
 // NetConnect), reusing one mesh across many runs — the daemon's and bench
 // harness's mode. The transport is not closed by Run.
+//
+// Deprecated: use WithCluster(ClusterOptions{Transport: c}) — bitwise-
+// equivalent, and the only surface carrying the newer cluster knobs.
 func WithTransport(c Conduit) Option { return func(o *RunOptions) { o.Conduit = c } }
 
 // WithContext bounds the run with ctx on either engine: cancellation or a
@@ -275,6 +289,7 @@ func (o RunOptions) real() ExecOptions {
 		Trace:      o.Trace,
 		TraceComm:  o.TraceComm,
 		Intercept:  o.Intercept,
+		Steal:      o.Steal.runtimePolicy(),
 		Ctx:        o.Ctx,
 		OnProgress: o.Progress,
 	}
@@ -293,7 +308,24 @@ func (o RunOptions) sim() SimOptions {
 		Recovery:   o.Recovery,
 		Ctx:        o.Ctx,
 		OnProgress: o.Progress,
+		Steal:      o.simSteal(),
 	}
+}
+
+// simSteal mirrors forced migrations into the simulator: the rank count
+// comes from the cluster configuration (the transport if one is attached,
+// the member list otherwise), exactly as a real run would place nodes.
+// Dynamic steal modes are wall-clock-driven and have no virtual-time
+// analogue, so only the forced schedule crosses over.
+func (o RunOptions) simSteal() *core.SimSteal {
+	if len(o.Steal.Force) == 0 {
+		return nil
+	}
+	ranks := len(o.RankAddrs)
+	if o.Conduit != nil {
+		ranks = o.Conduit.Ranks()
+	}
+	return &core.SimSteal{Ranks: ranks, Force: o.Steal.Force}
 }
 
 // Run executes a stencil variant on the concurrent runtime — numerically

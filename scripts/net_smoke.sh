@@ -77,6 +77,26 @@ if [ -z "$DIST_SHA" ] || [ "$DIST_SHA" != "$SINGLE_SHA" ]; then
   exit 1
 fi
 
+# Work stealing: a skewed decomposition (5 tile rows over a 2x2 node grid,
+# 9/6/6/4 tiles per node) run distributed with greedy inter-node stealing
+# must still fingerprint identically to the same job run single-process —
+# migration moves execution, never numerics.
+STEAL_SPEC='"variant":"wf","wavefront":4,"n":240,"tile":48,"nodes":4,"steps":8,"seed":7,"workers":1'
+STEAL_SHA=$(submit_and_wait "{$STEAL_SPEC,\"ranks\":2,\"steal\":\"greedy\"}")
+STEAL_SINGLE=$(submit_and_wait "{$STEAL_SPEC}")
+echo "net-smoke: steal-on grid    $STEAL_SHA"
+echo "net-smoke: steal single     $STEAL_SINGLE"
+if [ -z "$STEAL_SHA" ] || [ "$STEAL_SHA" != "$STEAL_SINGLE" ]; then
+  echo "net-smoke: STEAL FINGERPRINT MISMATCH — stealing changed the numerics" >&2
+  exit 1
+fi
+
+# The steal field is validated at admission: non-off without ranks is a 400.
+if curl -sf "http://$HTTP0/v1/jobs" -d "{$STEAL_SPEC,\"steal\":\"greedy\"}" >/dev/null 2>&1; then
+  echo "net-smoke: single-process steal job was accepted; admission must reject it" >&2
+  exit 1
+fi
+
 # The follower registered the broadcast in its own job table.
 if [ "$(curl -sf "http://$HTTP1/v1/jobs" | jq '.jobs | length')" -lt 1 ]; then
   echo "net-smoke: follower job table is empty" >&2
