@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-sched bench-comm bench-fault bench-serve bench-tb bench-overlap bench-lanes bench-dsteal serve check
+.PHONY: all build vet test race bench-smoke bench bench-sched bench-comm bench-fault bench-serve bench-tb bench-overlap bench-lanes bench-dsteal bench-fleet serve check
 
 all: check
 
@@ -92,6 +92,12 @@ bench-dsteal:
 		-benchtime 100x -benchmem \
 		./internal/netcomm/
 	$(GO) run ./cmd/stencilbench -exp dsteal -quick
+
+# Fleet-gateway sweep behind BENCH_10.json: one stencilgate over {1,2,4}
+# loopback stencild backends, content-addressed cache on vs off, plus the
+# execute-vs-hit repeat microbenchmark.
+bench-fleet:
+	$(GO) run ./cmd/stencilbench -exp fleet -quick
 
 # Run the stencil-as-a-service daemon locally.
 serve:

@@ -89,6 +89,8 @@ var experiments = []Experiment{
 		func(p Params, o ExpOpts, w io.Writer) error { r, err := Overlap(p); return writeReport(r, err, w) }},
 	{"serve", "stencild job-manager throughput",
 		func(p Params, o ExpOpts, w io.Writer) error { r, err := Serve(p); return writeReport(r, err, w) }},
+	{"fleet", "fleet gateway: result cache over sharded backends",
+		func(p Params, o ExpOpts, w io.Writer) error { r, err := Fleet(p); return writeReport(r, err, w) }},
 	{"lanes", "distributed transport: persistent lanes vs per-message connections",
 		func(p Params, o ExpOpts, w io.Writer) error { r, err := Lanes(p); return writeReport(r, err, w) }},
 	{"dsteal", "inter-node work stealing on a skewed decomposition",

@@ -409,3 +409,161 @@ func QueueVar(fs *flag.FlagSet, def int) *PosIntFlag {
 	fs.Var(f, "queue", "admission queue bound (submissions past it get 429)")
 	return f
 }
+
+// BackendsFlag is the -backends flag of the fleet gateway: the
+// comma-separated stencild addresses the gateway shards across. Each entry
+// is host:port or a full http(s) URL; bare addresses are validated with
+// the -listen rules at parse time. At least one backend is required.
+type BackendsFlag struct {
+	Addrs []string
+	raw   string
+}
+
+func (f *BackendsFlag) String() string { return f.raw }
+
+func (f *BackendsFlag) Set(s string) error {
+	if s == "" {
+		*f = BackendsFlag{}
+		return nil
+	}
+	var addrs []string
+	for start := 0; start <= len(s); {
+		end := start
+		for end < len(s) && s[end] != ',' {
+			end++
+		}
+		addr := s[start:end]
+		bare := addr
+		if after, ok := cutPrefix(bare, "http://"); ok {
+			bare = after
+		} else if after, ok := cutPrefix(bare, "https://"); ok {
+			bare = after
+		}
+		for len(bare) > 0 && bare[len(bare)-1] == '/' {
+			bare = bare[:len(bare)-1]
+		}
+		var probe ListenFlag
+		if err := probe.Set(bare); err != nil {
+			return fmt.Errorf("backend %d: %v", len(addrs), err)
+		}
+		addrs = append(addrs, addr)
+		start = end + 1
+	}
+	f.Addrs, f.raw = addrs, s
+	return nil
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return s, false
+}
+
+// BackendsVar registers -backends on fs (no default; the gateway refuses
+// to start without at least one).
+func BackendsVar(fs *flag.FlagSet) *BackendsFlag {
+	f := &BackendsFlag{}
+	fs.Var(f, "backends", "stencild backends: comma-separated host:port (or http URLs) the gateway shards across")
+	return f
+}
+
+// TenantsFlag is the -tenants flag of the fleet gateway: the fair-share
+// weight table, "name=weight" pairs comma-separated (e.g.
+// "prod=4,batch=1"). Weights are strictly positive integers; tenants not
+// listed weigh 1.
+type TenantsFlag struct {
+	Weights map[string]int
+	raw     string
+}
+
+func (f *TenantsFlag) String() string { return f.raw }
+
+func (f *TenantsFlag) Set(s string) error {
+	if s == "" {
+		*f = TenantsFlag{}
+		return nil
+	}
+	w := make(map[string]int)
+	for start := 0; start <= len(s); {
+		end := start
+		for end < len(s) && s[end] != ',' {
+			end++
+		}
+		pair := s[start:end]
+		eq := -1
+		for i := 0; i < len(pair); i++ {
+			if pair[i] == '=' {
+				eq = i
+				break
+			}
+		}
+		if eq <= 0 || eq == len(pair)-1 {
+			return fmt.Errorf("-tenants entry %q: want name=weight", pair)
+		}
+		name := pair[:eq]
+		n, err := strconv.Atoi(pair[eq+1:])
+		if err != nil {
+			return fmt.Errorf("-tenants entry %q: bad weight: %v", pair, err)
+		}
+		if n < 1 {
+			return fmt.Errorf("-tenants entry %q: weight must be >= 1", pair)
+		}
+		if _, dup := w[name]; dup {
+			return fmt.Errorf("-tenants entry %q: duplicate tenant", pair)
+		}
+		w[name] = n
+		start = end + 1
+	}
+	f.Weights, f.raw = w, s
+	return nil
+}
+
+// TenantsVar registers -tenants on fs (default: every tenant weighs 1).
+func TenantsVar(fs *flag.FlagSet) *TenantsFlag {
+	f := &TenantsFlag{}
+	fs.Var(f, "tenants", "fair-share weights: comma-separated name=weight (unlisted tenants weigh 1)")
+	return f
+}
+
+// SizeFlag is a byte-size flag (-cache-bytes): a positive integer with an
+// optional k/m/g suffix (binary units), e.g. "64m". Zero disables the
+// bounded resource it sizes only where the command says so; here the
+// parser just requires >= 1 byte.
+type SizeFlag struct {
+	name  string
+	Bytes int64
+}
+
+func (f *SizeFlag) String() string { return strconv.FormatInt(f.Bytes, 10) }
+
+func (f *SizeFlag) Set(s string) error {
+	if s == "" {
+		return fmt.Errorf("-%s: empty size", f.name)
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return fmt.Errorf("-%s %q: %v", f.name, s, err)
+	}
+	if n < 1 {
+		return fmt.Errorf("-%s must be >= 1 byte, got %d", f.name, n)
+	}
+	f.Bytes = n * mult
+	return nil
+}
+
+// SizeVar registers a byte-size flag with a binary-suffix grammar.
+func SizeVar(fs *flag.FlagSet, name string, def int64, usage string) *SizeFlag {
+	f := &SizeFlag{name: name, Bytes: def}
+	fs.Var(f, name, usage)
+	return f
+}

@@ -189,3 +189,68 @@ func TestRanksFlags(t *testing.T) {
 		t.Error("negative -rank accepted")
 	}
 }
+
+func TestBackendsFlag(t *testing.T) {
+	fs := newSet(t)
+	backends := BackendsVar(fs)
+	if err := fs.Parse([]string{"-backends", "127.0.0.1:8421,http://127.0.0.1:8422,https://box:8423/"}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"127.0.0.1:8421", "http://127.0.0.1:8422", "https://box:8423/"}
+	if len(backends.Addrs) != len(want) {
+		t.Fatalf("parsed %d backends, want %d", len(backends.Addrs), len(want))
+	}
+	for i := range want {
+		if backends.Addrs[i] != want[i] {
+			t.Errorf("backend[%d] = %q, want %q", i, backends.Addrs[i], want[i])
+		}
+	}
+	for _, bad := range []string{"no-port", "127.0.0.1:8421,,127.0.0.1:8422", "http://nohost"} {
+		fs2 := newSet(t)
+		BackendsVar(fs2)
+		if err := fs2.Parse([]string{"-backends", bad}); err == nil {
+			t.Errorf("bad -backends %q accepted", bad)
+		}
+	}
+}
+
+func TestTenantsFlag(t *testing.T) {
+	fs := newSet(t)
+	tenants := TenantsVar(fs)
+	if err := fs.Parse([]string{"-tenants", "prod=4,batch=1"}); err != nil {
+		t.Fatal(err)
+	}
+	if tenants.Weights["prod"] != 4 || tenants.Weights["batch"] != 1 {
+		t.Fatalf("weights = %v, want prod=4 batch=1", tenants.Weights)
+	}
+	for _, bad := range []string{"prod", "prod=", "=4", "prod=0", "prod=-1", "prod=x", "prod=1,prod=2"} {
+		fs2 := newSet(t)
+		TenantsVar(fs2)
+		if err := fs2.Parse([]string{"-tenants", bad}); err == nil {
+			t.Errorf("bad -tenants %q accepted", bad)
+		}
+	}
+}
+
+func TestSizeFlag(t *testing.T) {
+	cases := map[string]int64{
+		"100": 100, "4k": 4 << 10, "64M": 64 << 20, "2g": 2 << 30,
+	}
+	for in, want := range cases {
+		fs := newSet(t)
+		size := SizeVar(fs, "cache-bytes", 1, "test")
+		if err := fs.Parse([]string{"-cache-bytes", in}); err != nil {
+			t.Fatalf("-cache-bytes %q: %v", in, err)
+		}
+		if size.Bytes != want {
+			t.Errorf("-cache-bytes %q = %d, want %d", in, size.Bytes, want)
+		}
+	}
+	for _, bad := range []string{"", "0", "-5", "x", "4t"} {
+		fs := newSet(t)
+		SizeVar(fs, "cache-bytes", 1, "test")
+		if err := fs.Parse([]string{"-cache-bytes", bad}); err == nil {
+			t.Errorf("bad -cache-bytes %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+
+	"castencil/internal/server"
+)
+
+func cres(sha string) *server.Result {
+	return &server.Result{GridSHA256: sha}
+}
+
+func TestCacheEntryCap(t *testing.T) {
+	c := newCache(2, 1<<20)
+	c.put("a", cres("ra"), 10)
+	c.put("b", cres("rb"), 10)
+	if ev := c.put("c", cres("rc"), 10); ev != 1 {
+		t.Fatalf("inserting past the entry cap evicted %d, want 1", ev)
+	}
+	// "a" was least recently used: gone. "b" and "c" live.
+	if _, _, ok := c.get("a"); ok {
+		t.Fatal("LRU entry a survived eviction")
+	}
+	for _, fp := range []string{"b", "c"} {
+		if _, _, ok := c.get(fp); !ok {
+			t.Fatalf("entry %s evicted, want resident", fp)
+		}
+	}
+}
+
+func TestCacheLRUPromotion(t *testing.T) {
+	c := newCache(2, 1<<20)
+	c.put("a", cres("ra"), 10)
+	c.put("b", cres("rb"), 10)
+	// Touch "a": now "b" is LRU and the next insert evicts it.
+	if _, _, ok := c.get("a"); !ok {
+		t.Fatal("entry a missing")
+	}
+	c.put("c", cres("rc"), 10)
+	if _, _, ok := c.get("b"); ok {
+		t.Fatal("promoted wrong entry: b survived, a should have")
+	}
+	if _, _, ok := c.get("a"); !ok {
+		t.Fatal("recently-used entry a was evicted")
+	}
+}
+
+func TestCacheByteCap(t *testing.T) {
+	// 100-byte budget: three 40-byte entries force out the oldest.
+	c := newCache(100, 100)
+	c.put("a", cres("ra"), 40)
+	c.put("b", cres("rb"), 40)
+	if ev := c.put("c", cres("rc"), 40); ev != 1 {
+		t.Fatalf("byte-cap insert evicted %d, want 1", ev)
+	}
+	if c.size() != 80 {
+		t.Fatalf("cache holds %d bytes, want 80", c.size())
+	}
+	if _, _, ok := c.get("a"); ok {
+		t.Fatal("oldest entry a survived the byte cap")
+	}
+}
+
+func TestCacheOversizeRejected(t *testing.T) {
+	c := newCache(8, 100)
+	c.put("a", cres("ra"), 40)
+	// An entry bigger than the whole budget is not admitted and does not
+	// flush the resident set to make room.
+	c.put("huge", cres("rh"), 101)
+	if _, _, ok := c.get("huge"); ok {
+		t.Fatal("oversize entry was admitted")
+	}
+	if _, _, ok := c.get("a"); !ok {
+		t.Fatal("oversize insert evicted the resident set")
+	}
+	if c.len() != 1 || c.size() != 40 {
+		t.Fatalf("cache = %d entries / %d bytes, want 1/40", c.len(), c.size())
+	}
+}
+
+func TestCacheRefresh(t *testing.T) {
+	c := newCache(8, 100)
+	c.put("a", cres("old"), 40)
+	c.put("a", cres("new"), 60)
+	if c.len() != 1 || c.size() != 60 {
+		t.Fatalf("after refresh: %d entries / %d bytes, want 1/60", c.len(), c.size())
+	}
+	res, size, ok := c.get("a")
+	if !ok || res.GridSHA256 != "new" || size != 60 {
+		t.Fatalf("refresh did not replace the entry: %+v size %d ok %v", res, size, ok)
+	}
+}
+
+func TestCacheManyEvictions(t *testing.T) {
+	c := newCache(4, 1<<20)
+	for i := 0; i < 10; i++ {
+		c.put(fmt.Sprintf("fp%d", i), cres("r"), 1)
+	}
+	if c.len() != 4 {
+		t.Fatalf("cache holds %d entries, want 4", c.len())
+	}
+	// Only the four most recent remain.
+	for i := 6; i < 10; i++ {
+		if _, _, ok := c.get(fmt.Sprintf("fp%d", i)); !ok {
+			t.Fatalf("recent entry fp%d missing", i)
+		}
+	}
+}

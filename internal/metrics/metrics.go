@@ -255,6 +255,22 @@ func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() int64) 
 	m.gf = fn
 }
 
+// CounterValue reads a registered counter by name+labels without creating
+// it: the current count, or ok=false when no such counter exists. It lets
+// tests, smoke scripts and benches assert on live service counters (cache
+// hits, per-tenant admissions, backend errors) without scraping and parsing
+// the text exposition.
+func (r *Registry) CounterValue(name string, labels Labels) (int64, bool) {
+	key := name + renderLabels(labels)
+	r.mu.Lock()
+	m, ok := r.by[key]
+	r.mu.Unlock()
+	if !ok || m.kind != kindCounter || m.c == nil {
+		return 0, false
+	}
+	return m.c.Value(), true
+}
+
 // Histogram returns the histogram registered under name+labels, creating it
 // with the given bucket bounds on first use (nil bounds = DefLatencyBuckets).
 func (r *Registry) Histogram(name, help string, bounds []float64, labels Labels) *Histogram {

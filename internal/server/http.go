@@ -99,29 +99,24 @@ func Handler(m *Manager) http.Handler {
 		_ = m.Metrics().WritePrometheus(w)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		m.mu.Lock()
-		draining := m.draining
-		m.mu.Unlock()
-		status, line := http.StatusOK, "ok"
-		if draining {
-			status, line = http.StatusServiceUnavailable, "draining"
-		}
-		var transport string
-		if t := m.Transport(); t != nil {
-			up, want := t.Connected()
-			transport = fmt.Sprintf("transport: rank %d, %d/%d ranks connected", t.Rank(), up, want)
-			if up < want && status == http.StatusOK {
-				// A degraded mesh cannot accept distributed jobs: surface it
-				// the same way draining is surfaced, so load balancers and
-				// the smoke tests see the gap before a run hangs on it.
-				status, line = http.StatusServiceUnavailable, "degraded"
-			}
+		// The first line stays the plain status word ("ok" / "draining" /
+		// "degraded") for back-compat with scripts that `head -n 1` it; the
+		// last line is the machine-readable Health JSON the fleet gateway
+		// parses for load-aware routing. A degraded mesh cannot accept
+		// distributed jobs, so it is surfaced the same way draining is —
+		// load balancers and the smoke tests see the gap before a run
+		// hangs on it.
+		h := m.Health()
+		status := http.StatusOK
+		if h.Status != "ok" {
+			status = http.StatusServiceUnavailable
 		}
 		w.WriteHeader(status)
-		fmt.Fprintln(w, line)
-		if transport != "" {
-			fmt.Fprintln(w, transport)
+		fmt.Fprintln(w, h.Status)
+		if t := m.Transport(); t != nil {
+			fmt.Fprintf(w, "transport: rank %d, %d/%d ranks connected\n", h.Rank, h.RanksConnected, h.Ranks)
 		}
+		_ = json.NewEncoder(w).Encode(h)
 	})
 	return mux
 }

@@ -232,6 +232,35 @@ func TestHTTPMetricsAndHealth(t *testing.T) {
 	}
 }
 
+// TestHTTPHealthPayload checks the machine-readable healthz contract the
+// fleet gateway depends on: the first line stays the plain status word
+// (back-compat) and the last line parses as a Health JSON object carrying
+// the daemon's capacity limits.
+func TestHTTPHealthPayload(t *testing.T) {
+	_, srv := newTestServer(t, Config{MaxJobs: 3, QueueSize: 5})
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	_, _ = b.ReadFrom(resp.Body)
+	resp.Body.Close()
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "ok" {
+		t.Errorf("first healthz line %q, want ok", lines[0])
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &h); err != nil {
+		t.Fatalf("last healthz line is not Health JSON: %v\n%s", err, b.String())
+	}
+	if h.Status != "ok" || h.MaxJobs != 3 || h.QueueSize != 5 {
+		t.Errorf("health payload %+v, want status ok, max_jobs 3, queue_size 5", h)
+	}
+	if h.QueueDepth != 0 || h.Running != 0 {
+		t.Errorf("idle daemon reports load %+v", h)
+	}
+}
+
 // TestHTTPStream reads the NDJSON progress stream: at least an initial and
 // a terminal snapshot, the last one terminal with full progress.
 func TestHTTPStream(t *testing.T) {

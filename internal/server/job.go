@@ -139,6 +139,15 @@ type Spec struct {
 	// manager's default). A job past its deadline stops promptly and
 	// reports failed with a deadline error.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Tenant names the submitting tenant for the fleet gateway's weighted
+	// fair-share admission (stencilgate); "" is the default tenant. The
+	// daemon itself validates and carries it but applies no policy.
+	Tenant string `json:"tenant,omitempty"`
+	// Cache controls the fleet gateway's content-addressed result cache
+	// for this job: "" (cacheable, the default) or "bypass" (force
+	// re-execution). The daemon itself runs every admitted job regardless.
+	Cache string `json:"cache,omitempty"`
 }
 
 // buildSpec is a Spec resolved through the canonical parsers: everything a
@@ -271,6 +280,14 @@ func (s Spec) build() (*buildSpec, error) {
 	}
 	if b.steal != castencil.StealOff && s.Ranks == 0 {
 		return nil, fmt.Errorf("server: steal=%q needs a distributed job (ranks >= 2)", s.Steal)
+	}
+	switch strings.ToLower(s.Cache) {
+	case "", "default", CacheBypass:
+	default:
+		return nil, fmt.Errorf("server: unknown cache mode %q (\"\" or %q)", s.Cache, CacheBypass)
+	}
+	if len(s.Tenant) > 128 {
+		return nil, fmt.Errorf("server: tenant name exceeds 128 bytes")
 	}
 	machineName := s.Machine
 	if machineName == "" {

@@ -163,6 +163,47 @@ func (m *Manager) Metrics() *metrics.Registry { return m.reg }
 // single-process daemon).
 func (m *Manager) Transport() *castencil.NetTransport { return m.cfg.Transport }
 
+// Health is the machine-readable /healthz payload: the daemon's live load
+// (for the fleet gateway's load-aware routing) plus its capacity limits and
+// transport state. Status mirrors the endpoint's human text line: "ok",
+// "draining", or "degraded" (mesh rank down).
+type Health struct {
+	Status     string `json:"status"`
+	QueueDepth int    `json:"queue_depth"`
+	Running    int    `json:"running"`
+	MaxJobs    int    `json:"max_jobs"`
+	QueueSize  int    `json:"queue_size"`
+
+	// Transport state of a distributed daemon (absent single-process).
+	Rank           int `json:"rank,omitempty"`
+	Ranks          int `json:"ranks,omitempty"`
+	RanksConnected int `json:"ranks_connected,omitempty"`
+}
+
+// Health snapshots the manager's live load and transport state.
+func (m *Manager) Health() Health {
+	m.mu.Lock()
+	h := Health{
+		Status:     "ok",
+		QueueDepth: m.queued,
+		Running:    m.running,
+		MaxJobs:    m.cfg.MaxJobs,
+		QueueSize:  m.cfg.QueueSize,
+	}
+	if m.draining {
+		h.Status = "draining"
+	}
+	m.mu.Unlock()
+	if t := m.cfg.Transport; t != nil {
+		up, want := t.Connected()
+		h.Rank, h.Ranks, h.RanksConnected = t.Rank(), want, up
+		if up < want && h.Status == "ok" {
+			h.Status = "degraded"
+		}
+	}
+	return h
+}
+
 // Submit validates and admits a job, returning it in StateQueued. The
 // queue is bounded: a full queue rejects with ErrQueueFull immediately.
 func (m *Manager) Submit(spec Spec) (*Job, error) {
